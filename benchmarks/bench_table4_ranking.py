@@ -1,0 +1,63 @@
+"""Table IV — ranking of best answers in the test dataset.
+
+Reproduces the R_avg / Ω_avg / P_avg comparison between the original
+graph, the single-vote solution, and the multi-vote solution, on the
+synthetic effectiveness workload.  The paper's shape: the single-vote
+solution barely helps (it can even hurt — it ignores positive votes and
+conflicts), while the multi-vote solution clearly improves both the
+vote objective Ω_avg and the held-out ranking.
+"""
+
+from conftest import report
+
+from repro.eval.harness import evaluate_test_set, rerank_vote, vote_omega_avg
+from repro.eval.metrics import ranking_improvement
+from repro.optimize import solve_multi_vote, solve_single_votes
+from repro.utils.tables import format_table
+
+
+def bench_table4(benchmark, effectiveness_workload):
+    workload = effectiveness_workload
+
+    def optimize_both():
+        single, _ = solve_single_votes(workload.deployed, workload.votes)
+        multi, _ = solve_multi_vote(workload.deployed, workload.votes)
+        return single, multi
+
+    single, multi = benchmark.pedantic(optimize_both, rounds=1, iterations=1)
+
+    baseline = evaluate_test_set(workload.deployed, workload.test_pairs)
+    rows = [["Original Graph", f"{baseline.r_avg:.2f}", "-", "-"]]
+    results = {}
+    for label, graph in (
+        ("Optimized by single-vote solution", single),
+        ("Optimized by multi-vote solution", multi),
+    ):
+        result = evaluate_test_set(graph, workload.test_pairs)
+        omega = vote_omega_avg(graph, workload.votes)
+        before = [v.best_rank for v in workload.votes]
+        after = [rerank_vote(graph, v) for v in workload.votes]
+        p_avg = ranking_improvement(before, after)
+        rows.append(
+            [label, f"{result.r_avg:.2f}", f"{omega:+.2f}", f"{p_avg:+.2%}"]
+        )
+        results[label] = (result, omega)
+
+    report(
+        format_table(
+            ["Graph", "R_avg", "Omega_avg", "P_avg"],
+            rows,
+            title=(
+                "Table IV: ranking of best answers (paper: original 3.56, "
+                "single-vote 3.59 / −0.84%, multi-vote 2.86 / +18.82%)"
+            ),
+        )
+    )
+
+    multi_result, multi_omega = results["Optimized by multi-vote solution"]
+    _, single_omega = results["Optimized by single-vote solution"]
+    # The paper's ordering: multi-vote improves over the original and
+    # over single-vote on the vote objective.
+    assert multi_omega > 0
+    assert multi_omega >= single_omega
+    assert multi_result.r_avg <= baseline.r_avg

@@ -1,0 +1,108 @@
+"""Table V — promotion of best answers in the top-k list (H@k).
+
+Compares five rankers on the held-out test pairs:
+
+- IR: the entity-coincidence (Jaccard) baseline;
+- Q&A of [5]: exact-PPR ranking (random walk and PPR are equivalent in
+  similarity evaluation, as the paper notes when comparing against [5]);
+- KG without optimization: truncated extended inverse P-distance on the
+  deployed graph;
+- KG + single-vote / KG + multi-vote: the optimized graphs.
+
+Paper shape: every KG approach crushes IR; single-vote helps only at
+larger k (and can hurt H@1/H@3); multi-vote is best everywhere.
+"""
+
+from conftest import report
+
+from repro.eval.harness import evaluate_test_set
+from repro.eval.metrics import hits_at_k
+from repro.optimize import solve_multi_vote, solve_single_votes
+from repro.similarity import ppr_scores
+from repro.similarity.top_k import rank_position, scores_to_ranked_list
+from repro.utils.tables import format_table
+
+K_VALUES = (1, 3, 5, 10)
+
+
+def _ranks_ir(workload):
+    """Entity-set Jaccard ranking (the IR coincidence-rate baseline)."""
+    aug = workload.deployed
+    answers = sorted(aug.answer_nodes, key=repr)
+    answer_entities = {a: set(aug.answer_links(a)) for a in answers}
+    ranks = []
+    for query, best in workload.test_pairs.items():
+        query_entities = set(aug.query_links(query))
+        scores = {}
+        for answer, entities in answer_entities.items():
+            union = query_entities | entities
+            scores[answer] = (
+                len(query_entities & entities) / len(union) if union else 0.0
+            )
+        ranked = scores_to_ranked_list(scores)
+        ranks.append(rank_position(ranked, best))
+    return ranks
+
+
+def _ranks_exact_ppr(workload):
+    """Exact-PPR ranking — the random-walk Q&A algorithm of [5]."""
+    aug = workload.deployed
+    answers = sorted(aug.answer_nodes, key=repr)
+    ranks = []
+    for query, best in workload.test_pairs.items():
+        scores = ppr_scores(aug.graph, query, answers, method="solve")
+        ranked = scores_to_ranked_list(scores)
+        ranks.append(rank_position(ranked, best))
+    return ranks
+
+
+def bench_table5(benchmark, effectiveness_workload):
+    workload = effectiveness_workload
+
+    def optimize_and_rank():
+        single, _ = solve_single_votes(workload.deployed, workload.votes)
+        multi, _ = solve_multi_vote(workload.deployed, workload.votes)
+        return {
+            "IR": _ranks_ir(workload),
+            "Q&A proposed in [5]": _ranks_exact_ppr(workload),
+            "KG without optimization": evaluate_test_set(
+                workload.deployed, workload.test_pairs, k_values=K_VALUES
+            ).ranks,
+            "KG optimized by single-vote solution": evaluate_test_set(
+                single, workload.test_pairs, k_values=K_VALUES
+            ).ranks,
+            "KG optimized by multi-vote solution": evaluate_test_set(
+                multi, workload.test_pairs, k_values=K_VALUES
+            ).ranks,
+        }
+
+    all_ranks = benchmark.pedantic(optimize_and_rank, rounds=1, iterations=1)
+
+    hits = {
+        method: [hits_at_k(ranks, k) for k in K_VALUES]
+        for method, ranks in all_ranks.items()
+    }
+    rows = [
+        [method] + [f"{value:.2f}" for value in values]
+        for method, values in hits.items()
+    ]
+    report(
+        format_table(
+            ["Method"] + [f"H@{k}" for k in K_VALUES],
+            rows,
+            title=(
+                "Table V: promotion of best answers in top-k (paper: IR far "
+                "below all KG rows; multi-vote best at every k)"
+            ),
+        )
+    )
+
+    # Shape assertions from the paper.
+    for k_idx in range(len(K_VALUES)):
+        assert hits["IR"][k_idx] <= hits["KG without optimization"][k_idx]
+    # Multi-vote is at least as good as the unoptimized graph everywhere,
+    # and strictly better somewhere.
+    multi = hits["KG optimized by multi-vote solution"]
+    base = hits["KG without optimization"]
+    assert all(m >= b - 1e-12 for m, b in zip(multi, base))
+    assert any(m > b for m, b in zip(multi, base))

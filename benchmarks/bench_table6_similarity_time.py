@@ -1,0 +1,87 @@
+"""Table VI — average elapsed time per query for similarity evaluation.
+
+Races the random-walk baseline of [5] (one linear-equation-group solve
+per answer) against the extended inverse P-distance (one shared
+propagation for all answers) while the answer-set size |A| doubles.
+Sizes are scaled from the paper's 5k–40k to 50–400 so the bench runs in
+seconds; the claim under test is the *scaling shape*: random walk grows
+linearly in |A|, the P-distance stays flat.
+"""
+
+import time
+
+from conftest import report
+
+import numpy as np
+
+from repro.graph import AugmentedGraph, random_digraph
+from repro.similarity import inverse_pdistance, random_walk_similarity
+from repro.utils.tables import format_table
+
+ANSWER_COUNTS = (20, 40, 80, 160)
+GRAPH_NODES = 1_000
+
+
+def _build(num_answers, seed=3):
+    kg = random_digraph(GRAPH_NODES, 4.0, seed=seed, out_mass=0.9)
+    aug = AugmentedGraph(kg)
+    nodes = sorted(kg.nodes())
+    rng = np.random.default_rng(seed + 1)
+    for a in range(num_answers):
+        picks = rng.choice(len(nodes), size=3, replace=False)
+        aug.add_answer(f"ans{a}", {nodes[int(i)]: 1 for i in picks})
+    picks = rng.choice(len(nodes), size=3, replace=False)
+    aug.add_query("query", {nodes[int(i)]: 1 for i in picks})
+    answers = [f"ans{a}" for a in range(num_answers)]
+    return aug, answers
+
+
+def bench_table6(benchmark):
+    timings: dict[int, tuple[float, float]] = {}
+
+    def run_all():
+        for num_answers in ANSWER_COUNTS:
+            aug, answers = _build(num_answers)
+            start = time.perf_counter()
+            rw = random_walk_similarity(aug.graph, "query", answers)
+            rw_time = time.perf_counter() - start
+            start = time.perf_counter()
+            pd = inverse_pdistance(aug.graph, "query", answers, max_length=5)
+            pd_time = time.perf_counter() - start
+            timings[num_answers] = (rw_time, pd_time)
+            assert set(rw) == set(pd)
+        return timings
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"|A| = {n}",
+            f"{rw:.3f}s",
+            f"{pd:.3f}s",
+            f"{rw / pd:.1f}x",
+        ]
+        for n, (rw, pd) in timings.items()
+    ]
+    report(
+        format_table(
+            ["Answer set", "Random Walk [5]", "Ext. Inverse P-Distance", "speedup"],
+            rows,
+            title=(
+                "Table VI: per-query similarity time (paper: random walk "
+                "3.0→28s linear in |A|; P-distance flat 2.6→3.0s)"
+            ),
+        )
+    )
+
+    # Shape: random walk grows roughly linearly with |A| ...
+    first_rw = timings[ANSWER_COUNTS[0]][0]
+    last_rw = timings[ANSWER_COUNTS[-1]][0]
+    scale = ANSWER_COUNTS[-1] / ANSWER_COUNTS[0]
+    assert last_rw > first_rw * scale * 0.3, "random walk should scale with |A|"
+    # ... while the P-distance stays within a small constant factor.
+    first_pd = timings[ANSWER_COUNTS[0]][1]
+    last_pd = timings[ANSWER_COUNTS[-1]][1]
+    assert last_pd < first_pd * 5 + 0.05, "P-distance should stay ~flat"
+    # And the gap widens with |A| (the paper's headline).
+    assert last_rw / last_pd > first_rw / first_pd

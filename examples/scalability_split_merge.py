@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scaling the multi-vote solution with split-and-merge (Section VI).
+
+Generates synthetic votes on a KONECT-style graph (the Fig. 6 workload,
+scaled to finish quickly), then compares the basic multi-vote solution
+against the split-and-merge strategy and its simulated 4-worker
+distributed deployment — elapsed time and optimization quality Ω_avg
+side by side.
+
+Run:  python examples/scalability_split_merge.py
+"""
+
+import numpy as np
+
+from repro import generate_synthetic_votes, solve_multi_vote, solve_split_merge
+from repro.eval.harness import vote_omega_avg
+from repro.graph import AugmentedGraph, konect_like
+from repro.utils.tables import format_table
+
+VOTE_COUNTS = (5, 10, 20)
+SEED = 47
+
+
+def build_workload(num_votes, seed=SEED):
+    """A Twitter-like graph with queries/answers attached at random."""
+    kg = konect_like("twitter", scale=0.02, seed=seed)
+    aug = AugmentedGraph(kg)
+    nodes = sorted(kg.nodes())
+    rng = np.random.default_rng(seed + 1)
+    for a in range(40):
+        picks = rng.choice(len(nodes), size=3, replace=False)
+        aug.add_answer(f"ans{a}", {nodes[int(i)]: 1 for i in picks})
+    for q in range(num_votes):
+        picks = rng.choice(len(nodes), size=2, replace=False)
+        aug.add_query(f"qry{q}", {nodes[int(i)]: 1 for i in picks})
+    votes = generate_synthetic_votes(
+        aug, k=8, negative_fraction=0.5, avg_negative_position=4, seed=seed + 2
+    )
+    return aug, votes
+
+
+def main() -> None:
+    rows = []
+    for num_votes in VOTE_COUNTS:
+        aug, votes = build_workload(num_votes)
+
+        _, multi = solve_multi_vote(aug, votes)
+        optimized_multi, _ = solve_multi_vote(aug, votes)
+
+        optimized_sm, sm = solve_split_merge(aug, votes)
+
+        omega_multi = vote_omega_avg(optimized_multi, votes)
+        omega_sm = vote_omega_avg(optimized_sm, votes)
+        distributed = sm.distributed_makespan(num_workers=4)
+
+        rows.append(
+            [
+                num_votes,
+                f"{multi.elapsed:.2f}s",
+                f"{sm.elapsed:.2f}s",
+                f"{distributed:.2f}s",
+                sm.num_clusters,
+                f"{omega_multi:+.2f}",
+                f"{omega_sm:+.2f}",
+            ]
+        )
+        print(
+            f"votes={num_votes}: multi {multi.elapsed:.2f}s vs "
+            f"S-M {sm.elapsed:.2f}s "
+            f"({sm.num_clusters} clusters, avg {sm.average_cluster_size:.1f} votes)"
+        )
+
+    print()
+    print(
+        format_table(
+            [
+                "votes",
+                "Multi-V time",
+                "S-M time",
+                "Distributed S-M (4w)",
+                "clusters",
+                "Ω_avg multi",
+                "Ω_avg S-M",
+            ],
+            rows,
+            title="Split-and-merge scaling (cf. paper Fig. 6, scaled down)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

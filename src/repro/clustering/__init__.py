@@ -1,0 +1,18 @@
+"""Vote clustering for the split-and-merge strategy (Section VI).
+
+The split step groups votes by the overlap of the edge sets their
+similarity evaluations touch (Eq. 20), then clusters with Affinity
+Propagation [Frey & Dueck 2007], which picks the number of clusters
+automatically — exactly the property the paper relies on ("the AP
+algorithm can automatically find the optimal number of clusters").
+"""
+
+from repro.clustering.similarity import vote_similarity, vote_similarity_matrix
+from repro.clustering.affinity_propagation import affinity_propagation, cluster_votes
+
+__all__ = [
+    "vote_similarity",
+    "vote_similarity_matrix",
+    "affinity_propagation",
+    "cluster_votes",
+]

@@ -1,0 +1,173 @@
+"""Affinity Propagation clustering, implemented from scratch.
+
+Frey & Dueck, "Clustering by passing messages between data points",
+Science 2007 — the algorithm the paper uses for the split step
+(Section VI-A).  AP exchanges two messages between points until a set of
+*exemplars* emerges:
+
+- responsibility ``r(i, k)``: how strongly point ``i`` favours ``k`` as
+  its exemplar, relative to other candidates;
+- availability ``a(i, k)``: how appropriate it would be for ``i`` to
+  choose ``k``, given the support ``k`` has gathered.
+
+The number of clusters is not a parameter — it falls out of the
+*preference* values on the similarity diagonal.  The paper "selects the
+median of the similarities between votes as the classification
+criterion", i.e. the standard median-preference setting, which is the
+default here.
+
+No third-party implementation is available offline (no scikit-learn),
+so this is a complete, tested implementation with damping and
+convergence detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusteringError
+
+
+def affinity_propagation(
+    similarity: np.ndarray,
+    *,
+    preference: "float | str" = "median",
+    damping: float = 0.7,
+    max_iter: int = 400,
+    convergence_iter: int = 30,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cluster by affinity propagation.
+
+    Parameters
+    ----------
+    similarity:
+        Square symmetric matrix ``s(i, k)``; larger is more similar.
+    preference:
+        Diagonal value controlling cluster granularity: ``"median"``
+        (paper's choice), ``"min"`` (fewer clusters), or an explicit
+        float.
+    damping:
+        Message damping factor in ``[0.5, 1)``; higher is more stable
+        but slower.
+    max_iter, convergence_iter:
+        Stop after ``max_iter`` sweeps, or earlier once the exemplar set
+        has been stable for ``convergence_iter`` consecutive sweeps.
+
+    Returns
+    -------
+    (labels, exemplars):
+        ``labels[i]`` is the index into ``exemplars`` of point ``i``'s
+        cluster; ``exemplars`` lists the exemplar point indices.
+
+    Raises
+    ------
+    ClusteringError
+        For malformed input.  A run that fails to produce any exemplar
+        (possible on adversarial inputs) falls back to a single cluster
+        exemplified by the point with the largest summed similarity.
+    """
+    matrix = np.asarray(similarity, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ClusteringError(f"similarity must be square, got shape {matrix.shape}")
+    if not 0.5 <= damping < 1.0:
+        raise ClusteringError(f"damping must be in [0.5, 1), got {damping}")
+    n = matrix.shape[0]
+    if n == 0:
+        raise ClusteringError("cannot cluster zero points")
+    if n == 1:
+        return np.zeros(1, dtype=int), np.zeros(1, dtype=int)
+
+    s = matrix.copy()
+    off_diagonal = s[~np.eye(n, dtype=bool)]
+    if preference == "median":
+        pref_value = float(np.median(off_diagonal))
+    elif preference == "min":
+        pref_value = float(off_diagonal.min())
+    else:
+        pref_value = float(preference)
+    np.fill_diagonal(s, pref_value)
+
+    # Tiny deterministic jitter breaks the degenerate symmetric ties AP
+    # is known to oscillate on (same trick as the reference code).
+    jitter_rng = np.random.default_rng(0)
+    s = s + 1e-12 * jitter_rng.standard_normal((n, n)) * (np.abs(s).max() + 1.0)
+
+    responsibility = np.zeros((n, n))
+    availability = np.zeros((n, n))
+    stable_rounds = 0
+    previous_exemplars: "frozenset[int] | None" = None
+
+    for _ in range(max_iter):
+        # Responsibility update.
+        combined = availability + s
+        first_idx = np.argmax(combined, axis=1)
+        first_val = combined[np.arange(n), first_idx]
+        combined[np.arange(n), first_idx] = -np.inf
+        second_val = combined.max(axis=1)
+        new_r = s - first_val[:, None]
+        new_r[np.arange(n), first_idx] = (
+            s[np.arange(n), first_idx] - second_val
+        )
+        responsibility = damping * responsibility + (1 - damping) * new_r
+
+        # Availability update.
+        clipped = np.maximum(responsibility, 0.0)
+        np.fill_diagonal(clipped, responsibility.diagonal())
+        column_sums = clipped.sum(axis=0)
+        new_a = column_sums[None, :] - clipped
+        diagonal = new_a.diagonal().copy()
+        new_a = np.minimum(new_a, 0.0)
+        np.fill_diagonal(new_a, diagonal)
+        availability = damping * availability + (1 - damping) * new_a
+
+        exemplars = frozenset(
+            int(i)
+            for i in range(n)
+            if responsibility[i, i] + availability[i, i] > 0
+        )
+        if exemplars and exemplars == previous_exemplars:
+            stable_rounds += 1
+            if stable_rounds >= convergence_iter:
+                break
+        else:
+            stable_rounds = 0
+        previous_exemplars = exemplars
+
+    exemplar_idx = sorted(previous_exemplars or [])
+    if not exemplar_idx:
+        # Degenerate fallback: one cluster around the most central point.
+        exemplar_idx = [int(np.argmax(matrix.sum(axis=0)))]
+    exemplar_arr = np.array(exemplar_idx, dtype=int)
+
+    labels = np.argmax(s[:, exemplar_arr], axis=1)
+    labels[exemplar_arr] = np.arange(len(exemplar_arr))
+    # Drop exemplars that attracted nobody (can happen after the argmax
+    # reassignment) and re-index labels densely.
+    used = np.unique(labels)
+    remap = {old: new for new, old in enumerate(used)}
+    labels = np.array([remap[int(label)] for label in labels], dtype=int)
+    exemplar_arr = exemplar_arr[used]
+    return labels, exemplar_arr
+
+
+def cluster_votes(
+    similarity: np.ndarray,
+    *,
+    preference: "float | str" = "median",
+    damping: float = 0.7,
+    max_iter: int = 400,
+) -> list[list[int]]:
+    """Cluster votes and return the member indices of each cluster.
+
+    A thin wrapper over :func:`affinity_propagation` that returns
+    clusters as index lists (the shape the split-and-merge driver
+    consumes).  Clusters are ordered by exemplar index; members keep
+    their original order.
+    """
+    labels, exemplars = affinity_propagation(
+        similarity, preference=preference, damping=damping, max_iter=max_iter
+    )
+    clusters: list[list[int]] = [[] for _ in range(len(exemplars))]
+    for index, label in enumerate(labels):
+        clusters[int(label)].append(index)
+    return [cluster for cluster in clusters if cluster]

@@ -1,0 +1,61 @@
+"""Vote similarity (Eq. 20): Jaccard overlap of the votes' edge sets."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graph.augmented import AugmentedGraph
+from repro.paths.edgesets import vote_edge_set
+from repro.similarity.inverse_pdistance import DEFAULT_MAX_LENGTH
+from repro.votes.types import Vote, VoteSet
+
+EdgeSet = "set[tuple]"
+
+
+def vote_similarity(edges_a: set, edges_b: set) -> float:
+    """``Sim(t_i, t_j) = |E(t_i) ∩ E(t_j)| / |E(t_i) ∪ E(t_j)|``.
+
+    Two votes with no edges at all are vacuously identical (1.0); a
+    single empty side gives 0.0.
+    """
+    if not edges_a and not edges_b:
+        return 1.0
+    union = len(edges_a | edges_b)
+    if union == 0:
+        return 1.0
+    return len(edges_a & edges_b) / union
+
+
+def vote_edge_sets(
+    aug: AugmentedGraph,
+    votes: "VoteSet | Sequence[Vote]",
+    *,
+    max_length: int = DEFAULT_MAX_LENGTH,
+) -> list[set]:
+    """``E(t)`` for every vote, in vote order.
+
+    A vote's edge set is the union over its shown answers of the edges
+    on ≤ L walks from its query (see :mod:`repro.paths.edgesets`).
+    """
+    return [
+        vote_edge_set(aug.graph, vote.query, vote.ranked_answers, max_length)
+        for vote in votes
+    ]
+
+
+def vote_similarity_matrix(edge_sets: Sequence[set]) -> np.ndarray:
+    """Symmetric matrix of pairwise vote similarities.
+
+    The diagonal is left at 1.0; Affinity Propagation overwrites it with
+    the preference value anyway.
+    """
+    n = len(edge_sets)
+    matrix = np.eye(n)
+    for i in range(n):
+        for j in range(i + 1, n):
+            sim = vote_similarity(edge_sets[i], edge_sets[j])
+            matrix[i, j] = sim
+            matrix[j, i] = sim
+    return matrix

@@ -1,0 +1,33 @@
+"""Measurement substrate: the paper's metrics and experiment harness."""
+
+from repro.eval.metrics import (
+    average_precision,
+    hits_at_k,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    omega,
+    omega_avg,
+    percentage_difference,
+    rank_changes,
+    ranking_improvement,
+)
+from repro.eval.harness import EvaluationResult, evaluate_test_set, rerank_vote
+from repro.eval.significance import BootstrapResult, paired_bootstrap, sign_test
+
+__all__ = [
+    "omega",
+    "omega_avg",
+    "rank_changes",
+    "ranking_improvement",
+    "mean_reciprocal_rank",
+    "average_precision",
+    "mean_average_precision",
+    "hits_at_k",
+    "percentage_difference",
+    "EvaluationResult",
+    "evaluate_test_set",
+    "rerank_vote",
+    "BootstrapResult",
+    "paired_bootstrap",
+    "sign_test",
+]

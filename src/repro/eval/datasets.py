@@ -1,0 +1,53 @@
+"""Dataset registry (Table II).
+
+The paper evaluates on one knowledge graph with real votes (Taobao) and
+three KONECT graphs with synthetic votes (Twitter, Digg, Gnutella),
+plus random graphs for parameter studies.  This registry records the
+published statistics and provides loaders: each loader generates a
+degree-matched random stand-in (see DESIGN.md's substitution table);
+users who have the original KONECT files can load them with
+:func:`repro.graph.io.load_edge_list` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.digraph import WeightedDiGraph
+from repro.graph.generators import KONECT_STATS, konect_like
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Published statistics of one Table II dataset."""
+
+    name: str
+    nodes: int
+    edges: int
+
+    @property
+    def average_degree(self) -> float:
+        """``|E| / |V|`` as reported in Table II."""
+        return self.edges / self.nodes
+
+    def load(self, *, scale: float = 1.0, seed: "int | None" = None) -> WeightedDiGraph:
+        """Generate the degree-matched stand-in graph at ``scale``."""
+        return konect_like(self.name, scale=scale, seed=seed)
+
+
+#: The Table II datasets, in the paper's order.
+DATASETS: dict[str, DatasetInfo] = {
+    name: DatasetInfo(name=name, nodes=stats["nodes"], edges=stats["edges"])
+    for name, stats in KONECT_STATS.items()
+}
+
+#: The three graphs used by the efficiency experiments (Fig. 6).
+EFFICIENCY_DATASETS = ("twitter", "digg", "gnutella")
+
+
+def dataset_table() -> list[tuple[str, int, int, float]]:
+    """Rows of Table II: (dataset, |V|, |E|, average degree)."""
+    return [
+        (info.name.capitalize(), info.nodes, info.edges, round(info.average_degree, 2))
+        for info in DATASETS.values()
+    ]

@@ -1,0 +1,144 @@
+"""The paper's evaluation metrics.
+
+- ``Ω`` / ``Ω_avg`` (Definition 3 / Eq. 21): summed / averaged rank
+  improvement of the voted-best answers between the original and the
+  optimized graph;
+- ``MRR`` and ``MAP``: standard IR measures over a test set (Fig. 5);
+- ``H@k``: fraction of test questions whose best answer ranks no lower
+  than ``k`` (Table V);
+- ``R_avg`` / ``P_avg``: average rank of the best answers and its
+  percentage-wise improvement (Table IV);
+- ``PD(L_i, L_j)`` (Eq. 22): relative growth of summed top-k similarity
+  between two pruning thresholds (Fig. 7a).
+
+All ranking inputs are 1-based ranks; every function validates its
+inputs because a silently mis-shaped metric is worse than an exception.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import EvaluationError
+
+
+def _check_ranks(name: str, ranks: Sequence[int]) -> list[int]:
+    out = []
+    for rank in ranks:
+        if int(rank) != rank or rank < 1:
+            raise EvaluationError(f"{name}: ranks must be integers ≥ 1, got {rank!r}")
+        out.append(int(rank))
+    return out
+
+
+def rank_changes(
+    ranks_before: Sequence[int], ranks_after: Sequence[int]
+) -> list[int]:
+    """Per-vote rank improvements ``rank_t − rank'_t`` (positive = better)."""
+    before = _check_ranks("ranks_before", ranks_before)
+    after = _check_ranks("ranks_after", ranks_after)
+    if len(before) != len(after):
+        raise EvaluationError(
+            f"rank lists differ in length: {len(before)} vs {len(after)}"
+        )
+    return [b - a for b, a in zip(before, after)]
+
+
+def omega(ranks_before: Sequence[int], ranks_after: Sequence[int]) -> int:
+    """``Ω(G*) = Σ_t (rank_t − rank'_t)`` (Definition 3)."""
+    return sum(rank_changes(ranks_before, ranks_after))
+
+
+def omega_avg(ranks_before: Sequence[int], ranks_after: Sequence[int]) -> float:
+    """``Ω_avg`` (Eq. 21): Ω divided by the number of votes."""
+    changes = rank_changes(ranks_before, ranks_after)
+    if not changes:
+        raise EvaluationError("omega_avg of zero votes is undefined")
+    return sum(changes) / len(changes)
+
+
+def ranking_improvement(
+    ranks_before: Sequence[int], ranks_after: Sequence[int]
+) -> float:
+    """``P_avg``: mean per-query relative rank improvement.
+
+    ``mean((rank_t − rank'_t) / rank_t)`` — positive when answers moved
+    up on average (Table IV reports +18.82 % for the multi-vote
+    solution and −0.84 % for the single-vote one).
+    """
+    before = _check_ranks("ranks_before", ranks_before)
+    after = _check_ranks("ranks_after", ranks_after)
+    if len(before) != len(after) or not before:
+        raise EvaluationError("need equal-length, non-empty rank lists")
+    return sum((b - a) / b for b, a in zip(before, after)) / len(before)
+
+
+def mean_reciprocal_rank(ranks: Sequence[int]) -> float:
+    """``MRR = mean(1 / rank)`` of the correct answers."""
+    checked = _check_ranks("ranks", ranks)
+    if not checked:
+        raise EvaluationError("MRR of zero queries is undefined")
+    return sum(1.0 / r for r in checked) / len(checked)
+
+
+def average_precision(
+    ranked: Sequence, relevant: "set | frozenset"
+) -> float:
+    """Average precision of one ranked list against a relevant set.
+
+    ``AP = (1/|relevant∩ranked|) Σ_{relevant hits} precision@rank``.
+    With a single relevant answer this reduces to ``1/rank`` — the
+    paper's test set assigns one best HELP document per question, so
+    its MAP tracks MRR closely, as Fig. 5 shows.
+    """
+    if not relevant:
+        raise EvaluationError("average precision needs a non-empty relevant set")
+    hits = 0
+    precision_sum = 0.0
+    for position, item in enumerate(ranked, start=1):
+        if item in relevant:
+            hits += 1
+            precision_sum += hits / position
+    if hits == 0:
+        return 0.0
+    return precision_sum / hits
+
+
+def mean_average_precision(
+    ranked_lists: Sequence[Sequence], relevant_sets: Sequence
+) -> float:
+    """MAP over a test set: mean of per-query average precision."""
+    if len(ranked_lists) != len(relevant_sets) or not ranked_lists:
+        raise EvaluationError("need equal-length, non-empty list collections")
+    total = sum(
+        average_precision(ranked, set(relevant))
+        for ranked, relevant in zip(ranked_lists, relevant_sets)
+    )
+    return total / len(ranked_lists)
+
+
+def hits_at_k(ranks: Sequence[int], k: int) -> float:
+    """``H@k``: fraction of queries whose correct answer ranks ≤ k."""
+    checked = _check_ranks("ranks", ranks)
+    if not checked:
+        raise EvaluationError("H@k of zero queries is undefined")
+    if k < 1:
+        raise EvaluationError(f"k must be ≥ 1, got {k}")
+    return sum(1 for r in checked if r <= k) / len(checked)
+
+
+def percentage_difference(sum_li: float, sum_lj: float) -> float:
+    """``PD(L_i, L_j) = (Sum_{L_j} − Sum_{L_i}) / Sum_{L_i}`` (Eq. 22)."""
+    if sum_li <= 0:
+        raise EvaluationError(
+            f"PD is undefined for non-positive base similarity {sum_li}"
+        )
+    return (sum_lj - sum_li) / sum_li
+
+
+def average_rank(ranks: Sequence[int]) -> float:
+    """``R_avg``: the mean rank of the correct answers (Table IV)."""
+    checked = _check_ranks("ranks", ranks)
+    if not checked:
+        raise EvaluationError("average rank of zero queries is undefined")
+    return sum(checked) / len(checked)

@@ -1,0 +1,105 @@
+"""Statistical significance for ranker comparisons.
+
+The paper reports point estimates (single runs on one vote sample); a
+production evaluation should also say whether "multi-vote beats the
+original graph" survives resampling.  This module provides the two
+standard tools for paired per-query metrics:
+
+- :func:`paired_bootstrap` — the paired bootstrap test over per-query
+  score differences (e.g. reciprocal ranks), reporting the probability
+  that system B beats system A under resampling of the query set;
+- :func:`sign_test` — the exact binomial sign test on win/loss counts,
+  assumption-free and appropriate for small test sets like the paper's
+  100 questions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Outcome of a paired bootstrap comparison."""
+
+    mean_difference: float
+    p_value: float
+    wins: int
+    losses: int
+    ties: int
+    num_samples: int
+
+    @property
+    def significant(self) -> bool:
+        """Whether B > A at the 0.05 level (one-sided)."""
+        return self.p_value < 0.05
+
+
+def paired_bootstrap(
+    scores_a: Sequence[float],
+    scores_b: Sequence[float],
+    *,
+    num_samples: int = 10_000,
+    seed: "int | None" = None,
+) -> BootstrapResult:
+    """One-sided paired bootstrap: is system B better than system A?
+
+    Parameters
+    ----------
+    scores_a, scores_b:
+        Per-query scores of the two systems (higher is better), aligned
+        by query — e.g. reciprocal ranks of the correct answer.
+    num_samples:
+        Bootstrap resamples of the query set.
+    seed:
+        Reproducibility.
+
+    Returns
+    -------
+    BootstrapResult
+        ``p_value`` is the fraction of resamples where B does *not*
+        beat A (so small = significant evidence for B).
+    """
+    a = np.asarray(scores_a, dtype=float)
+    b = np.asarray(scores_b, dtype=float)
+    if a.shape != b.shape or a.ndim != 1 or a.size == 0:
+        raise EvaluationError("need equal-length, non-empty score vectors")
+    if num_samples < 1:
+        raise EvaluationError(f"num_samples must be ≥ 1, got {num_samples}")
+    rng = ensure_rng(seed)
+    differences = b - a
+    n = differences.size
+    indices = rng.integers(0, n, size=(num_samples, n))
+    resampled_means = differences[indices].mean(axis=1)
+    not_better = float(np.mean(resampled_means <= 0.0))
+    return BootstrapResult(
+        mean_difference=float(differences.mean()),
+        p_value=not_better,
+        wins=int((differences > 0).sum()),
+        losses=int((differences < 0).sum()),
+        ties=int((differences == 0).sum()),
+        num_samples=num_samples,
+    )
+
+
+def sign_test(wins: int, losses: int) -> float:
+    """Exact one-sided binomial sign test p-value.
+
+    Probability of observing at least ``wins`` successes out of
+    ``wins + losses`` fair coin flips — ties are excluded, per the
+    standard treatment.
+    """
+    if wins < 0 or losses < 0:
+        raise EvaluationError("wins and losses must be non-negative")
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    total = sum(comb(n, k) for k in range(wins, n + 1))
+    return total / 2.0**n

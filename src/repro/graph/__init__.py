@@ -1,0 +1,51 @@
+"""Knowledge-graph substrate.
+
+The paper works on a weighted directed graph ``G = (V, E, W)`` whose edge
+weights are transition probabilities, augmented with query nodes ``Q`` and
+answer nodes ``A`` that are linked to — but disjoint from — the entity
+nodes ``V`` (Section III-A).  This subpackage provides:
+
+- :class:`~repro.graph.digraph.WeightedDiGraph` — the base structure;
+- :class:`~repro.graph.augmented.AugmentedGraph` — G plus Q plus A;
+- generators for random and dataset-statistics-matched graphs;
+- KONECT/TSV/JSON I/O;
+- the ``NormalizeEdges`` step of Algorithm 1.
+"""
+
+from repro.graph.digraph import Edge, WeightedDiGraph
+from repro.graph.augmented import AugmentedGraph
+from repro.graph.normalize import normalize_edges, normalize_out_weights
+from repro.graph.generators import (
+    helpdesk_graph,
+    konect_like,
+    random_digraph,
+    KONECT_STATS,
+)
+from repro.graph.io import (
+    load_edge_list,
+    load_json_graph,
+    save_edge_list,
+    save_json_graph,
+)
+from repro.graph.persistence import load_augmented_graph, save_augmented_graph
+from repro.graph.stats import GraphSummary, summarize
+
+__all__ = [
+    "Edge",
+    "WeightedDiGraph",
+    "AugmentedGraph",
+    "normalize_edges",
+    "normalize_out_weights",
+    "random_digraph",
+    "konect_like",
+    "helpdesk_graph",
+    "KONECT_STATS",
+    "load_edge_list",
+    "save_edge_list",
+    "load_json_graph",
+    "save_json_graph",
+    "load_augmented_graph",
+    "save_augmented_graph",
+    "GraphSummary",
+    "summarize",
+]

@@ -1,0 +1,244 @@
+"""Graph generators for experiments.
+
+Three generators are provided:
+
+- :func:`random_digraph` — a random directed graph with a target average
+  degree and per-node normalized (sub-stochastic) out-weights.  This is
+  the "Random" row of Table II and the substrate of the parameter-impact
+  experiments (Section VII-E).
+- :func:`konect_like` — a random graph matched to the published
+  ``|V|``/``|E|`` statistics of the KONECT datasets used in the paper's
+  efficiency experiments (Table II: Twitter, Digg, Gnutella) plus the
+  Taobao knowledge graph.  The real graphs are not redistributable
+  offline; the efficiency results depend only on scale and degree, which
+  these stand-ins match (see DESIGN.md, substitution table).
+- :func:`helpdesk_graph` — a small topical knowledge graph used by the
+  examples and tests, structurally similar to a customer-service KG:
+  clusters of entities per topic with dense intra-topic and sparse
+  inter-topic relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.graph.digraph import WeightedDiGraph
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+#: Published statistics of the paper's datasets (Table II).
+KONECT_STATS: Mapping[str, dict[str, int]] = {
+    "taobao": {"nodes": 1_663, "edges": 17_591},
+    "twitter": {"nodes": 23_370, "edges": 33_101},
+    "digg": {"nodes": 30_398, "edges": 87_627},
+    "gnutella": {"nodes": 62_586, "edges": 147_892},
+}
+
+
+def random_digraph(
+    num_nodes: int,
+    avg_degree: float,
+    *,
+    seed: "int | None | np.random.Generator" = None,
+    out_mass: float = 1.0,
+    node_prefix: str = "n",
+) -> WeightedDiGraph:
+    """Generate a random weighted digraph with normalized out-weights.
+
+    Each node receives a Poisson-distributed number of out-edges (mean
+    ``avg_degree``, at least one) to uniformly chosen distinct targets.
+    Raw weights are drawn uniformly and normalized so each node's
+    out-weights sum to ``out_mass`` (default 1: row-stochastic, like the
+    conditional-probability initialization of Section III-A).
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; node labels are ``f"{node_prefix}{i}"``.
+    avg_degree:
+        Target average out-degree ``N_degree``.
+    seed:
+        Seed or generator for reproducibility.
+    out_mass:
+        Total out-weight per node, in ``(0, 1]``.  Values below one leave
+        "death" probability at every step, guaranteeing that PPR-style
+        series converge even after augmentation.
+    node_prefix:
+        Prefix for generated node labels.
+    """
+    if num_nodes <= 0:
+        raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+    check_positive("avg_degree", avg_degree)
+    if not 0.0 < out_mass <= 1.0:
+        raise ValueError(f"out_mass must be in (0, 1], got {out_mass}")
+    rng = ensure_rng(seed)
+
+    graph = WeightedDiGraph(strict=False)
+    labels = [f"{node_prefix}{i}" for i in range(num_nodes)]
+    for label in labels:
+        graph.add_node(label)
+    if num_nodes == 1:
+        return graph
+
+    degrees = rng.poisson(avg_degree, size=num_nodes)
+    degrees = np.maximum(degrees, 1)
+    degrees = np.minimum(degrees, num_nodes - 1)
+    for i, label in enumerate(labels):
+        k = int(degrees[i])
+        targets = rng.choice(num_nodes, size=k + 1, replace=False)
+        targets = [int(t) for t in targets if int(t) != i][:k]
+        raw = rng.uniform(0.1, 1.0, size=len(targets))
+        raw = raw / raw.sum() * out_mass
+        for t, w in zip(targets, raw):
+            graph.add_edge(label, labels[t], float(w))
+    return graph
+
+
+def konect_like(
+    name: str,
+    *,
+    seed: "int | None | np.random.Generator" = None,
+    scale: float = 1.0,
+    out_mass: float = 1.0,
+) -> WeightedDiGraph:
+    """Generate a random graph matched to a Table II dataset's statistics.
+
+    Parameters
+    ----------
+    name:
+        One of ``"taobao"``, ``"twitter"``, ``"digg"``, ``"gnutella"``
+        (case-insensitive).
+    scale:
+        Linear scale factor applied to both ``|V|`` and ``|E|``; the
+        average degree — which drives the path-enumeration cost — is
+        preserved.  Benchmarks use ``scale < 1`` so they finish on a
+        laptop while keeping each dataset's degree profile.
+    seed, out_mass:
+        As in :func:`random_digraph`.
+    """
+    key = name.lower()
+    if key not in KONECT_STATS:
+        raise KeyError(
+            f"unknown dataset {name!r}; expected one of {sorted(KONECT_STATS)}"
+        )
+    check_positive("scale", scale)
+    stats = KONECT_STATS[key]
+    num_nodes = max(2, int(round(stats["nodes"] * scale)))
+    num_edges = max(1, int(round(stats["edges"] * scale)))
+    avg_degree = num_edges / num_nodes
+    return random_digraph(
+        num_nodes,
+        avg_degree,
+        seed=seed,
+        out_mass=out_mass,
+        node_prefix=f"{key}_",
+    )
+
+
+def helpdesk_graph(
+    *,
+    num_topics: int = 8,
+    entities_per_topic: int = 12,
+    intra_topic_degree: float = 4.0,
+    inter_topic_degree: float = 1.0,
+    seed: "int | None | np.random.Generator" = None,
+    out_mass: float = 0.9,
+) -> tuple[WeightedDiGraph, dict[str, list[str]]]:
+    """Generate a topical help-desk-style knowledge graph.
+
+    The graph mimics the structure the paper observes in real knowledge
+    graphs ("the nodes with high correlations centrally distributed in a
+    sub-graph may represent a domain", Section VI-A): entities cluster
+    into topics, with dense intra-topic edges and a sparse inter-topic
+    backbone.  This makes it a good substrate for exercising the
+    split-and-merge strategy, whose clustering step exists precisely
+    because votes localize to such sub-graphs.
+
+    Returns
+    -------
+    (graph, topics):
+        The knowledge graph and a mapping ``topic name -> entity labels``.
+
+    Notes
+    -----
+    Out-weights per node are normalized to ``out_mass`` (default 0.9,
+    leaving walk-termination mass so similarity series are well behaved
+    after answer links are added).
+    """
+    if num_topics <= 0 or entities_per_topic <= 1:
+        raise ValueError("need at least one topic and two entities per topic")
+    rng = ensure_rng(seed)
+
+    topics: dict[str, list[str]] = {}
+    for t in range(num_topics):
+        topic = f"topic{t}"
+        topics[topic] = [f"{topic}/e{i}" for i in range(entities_per_topic)]
+
+    graph = WeightedDiGraph(strict=False)
+    all_entities: list[str] = []
+    for members in topics.values():
+        for entity in members:
+            graph.add_node(entity)
+            all_entities.append(entity)
+
+    topic_list = list(topics.values())
+    for t_idx, members in enumerate(topic_list):
+        for i, entity in enumerate(members):
+            # Intra-topic edges: Poisson count of distinct targets.
+            k_intra = max(1, int(rng.poisson(intra_topic_degree)))
+            k_intra = min(k_intra, len(members) - 1)
+            choices = rng.choice(len(members), size=k_intra + 1, replace=False)
+            targets = [members[int(c)] for c in choices if int(c) != i][:k_intra]
+            # Inter-topic edges: sparse links to other topics' entities.
+            k_inter = int(rng.poisson(inter_topic_degree))
+            for _ in range(k_inter):
+                other_topic = int(rng.integers(0, len(topic_list)))
+                if other_topic == t_idx and len(topic_list) > 1:
+                    continue
+                other = topic_list[other_topic]
+                cand = other[int(rng.integers(0, len(other)))]
+                if cand != entity and cand not in targets:
+                    targets.append(cand)
+            raw = rng.uniform(0.2, 1.0, size=len(targets))
+            raw = raw / raw.sum() * out_mass
+            for target, weight in zip(targets, raw):
+                graph.add_edge(entity, target, float(weight))
+    return graph, topics
+
+
+def perturb_weights(
+    graph: WeightedDiGraph,
+    *,
+    noise: float = 0.3,
+    seed: "int | None | np.random.Generator" = None,
+    renormalize: bool = True,
+) -> WeightedDiGraph:
+    """Return a copy of ``graph`` with multiplicatively noised weights.
+
+    The effectiveness experiments need a *corrupted* graph whose weights
+    deviate from a ground truth (the paper's motivation: "the knowledge
+    graph constructed based on source data may contain errors").  Each
+    weight is multiplied by ``exp(noise * N(0, 1))``; when
+    ``renormalize`` is set, every node's out-weights are rescaled to
+    their original sum so the graph stays comparably stochastic and only
+    the *relative* weights — which determine rankings — change.
+    """
+    if noise < 0:
+        raise ValueError(f"noise must be non-negative, got {noise}")
+    rng = ensure_rng(seed)
+    noisy = graph.copy()
+    for node in list(noisy.nodes()):
+        succ = noisy.successors(node)
+        if not succ:
+            continue
+        original_sum = sum(succ.values())
+        factors = np.exp(noise * rng.standard_normal(len(succ)))
+        new = {t: w * float(f) for (t, w), f in zip(succ.items(), factors)}
+        if renormalize:
+            total = sum(new.values())
+            new = {t: w / total * original_sum for t, w in new.items()}
+        for tail, weight in new.items():
+            noisy.set_weight(node, tail, weight)
+    return noisy

@@ -1,0 +1,114 @@
+"""Edge-weight normalization (the ``NormalizeEdges`` step of Algorithm 1).
+
+After the SGP solver adjusts a subset of edge weights, the out-weights
+of the touched nodes no longer sum to their original probability mass.
+Algorithm 1 (line 16) re-normalizes so the graph remains a valid
+transition structure.  Rescaling a node's out-weights by a common factor
+preserves the *relative* weights the solver chose — which is what
+determines answer rankings — while restoring stochasticity.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import Node, WeightedDiGraph
+
+
+def normalize_out_weights(
+    graph: WeightedDiGraph,
+    *,
+    nodes: "Iterable[Node] | None" = None,
+    target: float = 1.0,
+    edge_filter=None,
+) -> None:
+    """Rescale out-weights in place so each node's sum equals ``target``.
+
+    Parameters
+    ----------
+    graph:
+        Graph to mutate.
+    nodes:
+        Nodes to normalize; all nodes by default.  Nodes without
+        out-edges (after filtering) are skipped.
+    target:
+        Desired out-weight sum per node.
+    edge_filter:
+        Optional predicate ``(head, tail) -> bool`` selecting which
+        out-edges participate.  Used by the optimizer to normalize a
+        node's knowledge-graph edges while leaving its fixed answer
+        links untouched.
+    """
+    if target <= 0:
+        raise ValueError(f"target must be positive, got {target}")
+    node_list = list(nodes) if nodes is not None else list(graph.nodes())
+    for node in node_list:
+        if not graph.has_node(node):
+            raise NodeNotFoundError(node)
+        succ = graph.successors(node)
+        if edge_filter is not None:
+            succ = {t: w for t, w in succ.items() if edge_filter(node, t)}
+        if not succ:
+            continue
+        total = sum(succ.values())
+        if total <= 0:
+            continue
+        scale = target / total
+        for tail, weight in succ.items():
+            graph.set_weight(node, tail, weight * scale)
+
+
+def normalize_edges(
+    graph: WeightedDiGraph,
+    *,
+    nodes: "Iterable[Node] | None" = None,
+    reference_sums: "Mapping[Node, float] | None" = None,
+    edge_filter=None,
+) -> None:
+    """Restore per-node out-weight sums to recorded reference values.
+
+    This is the exact ``NormalizeEdges`` semantics the optimizer needs:
+    before solving, it records each touched node's out-weight sum; after
+    applying the solver's weights, it calls this function so every node
+    ends up with the same total mass it started with (the solver is only
+    allowed to redistribute mass, not create it).
+
+    Parameters
+    ----------
+    reference_sums:
+        ``node -> target sum``.  Nodes missing from the mapping are
+        normalized to 1.0.  When ``None``, every selected node is
+        normalized to 1.0.
+    nodes, edge_filter:
+        As in :func:`normalize_out_weights`.
+    """
+    node_list = list(nodes) if nodes is not None else list(graph.nodes())
+    sums = reference_sums or {}
+    for node in node_list:
+        target = float(sums.get(node, 1.0))
+        normalize_out_weights(
+            graph, nodes=[node], target=target, edge_filter=edge_filter
+        )
+
+
+def out_weight_sums(
+    graph: WeightedDiGraph,
+    nodes: "Iterable[Node] | None" = None,
+    *,
+    edge_filter=None,
+) -> dict[Node, float]:
+    """Snapshot per-node out-weight sums (optionally over filtered edges).
+
+    The optimizer takes this snapshot before solving and feeds it to
+    :func:`normalize_edges` afterwards.
+    """
+    node_list = list(nodes) if nodes is not None else list(graph.nodes())
+    sums: dict[Node, float] = {}
+    for node in node_list:
+        succ = graph.successors(node)
+        if edge_filter is not None:
+            succ = {t: w for t, w in succ.items() if edge_filter(node, t)}
+        if succ:
+            sums[node] = sum(succ.values())
+    return sums

@@ -1,0 +1,98 @@
+"""Persistence for augmented graphs.
+
+A deployed system must survive restarts with its *optimized* weights —
+otherwise every vote-driven improvement evaporates.  Plain graphs
+round-trip through :mod:`repro.graph.io`; an
+:class:`~repro.graph.augmented.AugmentedGraph` additionally needs its
+role bookkeeping (which nodes are queries/answers), which this module
+serializes alongside the combined graph in a single JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import GraphError
+from repro.graph.augmented import AugmentedGraph
+from repro.graph.digraph import WeightedDiGraph
+
+#: Schema version written into every file; bump on incompatible change.
+FORMAT_VERSION = 1
+
+
+def save_augmented_graph(aug: AugmentedGraph, path: "str | Path") -> None:
+    """Write an augmented graph (weights + roles) to JSON.
+
+    Weights round-trip exactly (JSON numbers are IEEE doubles), so a
+    save/load cycle preserves every similarity score bit for bit.
+    """
+    graph = aug.graph
+    payload = {
+        "format": "repro-augmented-graph",
+        "version": FORMAT_VERSION,
+        "nodes": list(graph.nodes()),
+        "edges": [[e.head, e.tail, e.weight] for e in graph.edges()],
+        "queries": sorted(aug.query_nodes, key=repr),
+        "answers": sorted(aug.answer_nodes, key=repr),
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_augmented_graph(path: "str | Path") -> AugmentedGraph:
+    """Load an augmented graph previously written by :func:`save_augmented_graph`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"{path}: not valid JSON") from exc
+    if not isinstance(payload, dict) or payload.get("format") != "repro-augmented-graph":
+        raise GraphError(f"{path}: not a repro augmented-graph file")
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise GraphError(
+            f"{path}: unsupported format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+
+    queries = set(payload["queries"])
+    answers = set(payload["answers"])
+    special = queries | answers
+
+    # Rebuild the entity knowledge graph first, then reattach roles.
+    kg = WeightedDiGraph(strict=False)
+    for node in payload["nodes"]:
+        if node not in special:
+            kg.add_node(node)
+    link_edges = []
+    for head, tail, weight in payload["edges"]:
+        if head in special or tail in special:
+            link_edges.append((head, tail, float(weight)))
+        else:
+            kg.add_edge(head, tail, float(weight))
+
+    aug = AugmentedGraph(kg)
+    query_links: dict = {q: {} for q in queries}
+    answer_links: dict = {a: {} for a in answers}
+    for head, tail, weight in link_edges:
+        if head in queries:
+            query_links[head][tail] = weight
+        elif tail in answers:
+            answer_links[tail][head] = weight
+        else:
+            raise GraphError(
+                f"{path}: link edge {head!r}->{tail!r} matches no role"
+            )
+    for query, links in query_links.items():
+        if not links:
+            raise GraphError(f"{path}: query {query!r} has no links")
+        aug.add_query(query, links)
+    for answer, links in answer_links.items():
+        if not links:
+            raise GraphError(f"{path}: answer {answer!r} has no links")
+        aug.add_answer(answer, links)
+    # add_query/add_answer normalize; restore the exact stored weights
+    # (they were already normalized at attach time, but exactness
+    # matters for bit-for-bit round trips).
+    for head, tail, weight in link_edges:
+        aug.graph.set_weight(head, tail, weight)
+    return aug

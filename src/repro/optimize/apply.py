@@ -1,0 +1,89 @@
+"""Applying an SGP solution back onto the graph.
+
+Shared by the single-vote, multi-vote, and split-and-merge drivers:
+write the solved edge weights into the augmented graph, then re-run
+``NormalizeEdges`` (Algorithm 1 line 16) on every touched node so its
+knowledge-graph out-weights keep the probability mass they had before
+the solve — the solver redistributes mass, it must not create it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.graph.augmented import AugmentedGraph
+from repro.graph.normalize import normalize_edges, out_weight_sums
+
+#: Weight changes smaller than this are considered "unchanged" both for
+#: reporting and for the split-and-merge merge rule.
+CHANGE_TOL = 1e-9
+
+
+def apply_edge_weights(
+    aug: AugmentedGraph,
+    new_weights: Mapping,
+    *,
+    normalize: bool = True,
+) -> dict:
+    """Write ``{(head, tail): weight}`` into ``aug`` and re-normalize.
+
+    Parameters
+    ----------
+    aug:
+        The augmented graph to mutate.
+    new_weights:
+        Solved weights for (a subset of) the knowledge-graph edges.
+    normalize:
+        Run ``NormalizeEdges`` on the touched nodes, restoring each
+        node's pre-update knowledge-graph out-weight sum.
+
+    Returns
+    -------
+    dict
+        ``{(head, tail): (old_weight, final_weight)}`` for every edge
+        whose weight actually changed (after normalization), which is
+        what Table III reports.
+    """
+    graph = aug.graph
+    touched_nodes = {head for head, _tail in new_weights}
+    before = {
+        (head, tail): graph.weight(head, tail)
+        for head, tail in new_weights
+    }
+    # Record sums over the *knowledge-graph* out-edges only: query and
+    # answer links are constants and must not absorb normalization.
+    reference = out_weight_sums(
+        graph, touched_nodes, edge_filter=aug.is_kg_edge
+    )
+    for (head, tail), weight in new_weights.items():
+        aug.set_kg_weight(head, tail, float(weight))
+    if normalize:
+        normalize_edges(
+            graph,
+            nodes=touched_nodes,
+            reference_sums=reference,
+            edge_filter=aug.is_kg_edge,
+        )
+    changes = {}
+    for (head, tail), old in before.items():
+        final = graph.weight(head, tail)
+        if abs(final - old) > CHANGE_TOL:
+            changes[(head, tail)] = (old, final)
+    return changes
+
+
+def weight_deltas(changes: Mapping) -> dict:
+    """``{edge: new − old}`` from an :func:`apply_edge_weights` record."""
+    return {edge: new - old for edge, (old, new) in changes.items()}
+
+
+def solution_edge_weights(encoded, solution) -> dict:
+    """Extract ``{edge: weight}`` from a solver solution for ``encoded``.
+
+    Thin helper so drivers do not reach into the variable index
+    directly.
+    """
+    x = np.asarray(solution.x, dtype=float)
+    return encoded.edge_values(x)

@@ -1,0 +1,181 @@
+"""Audit log for vote-driven weight changes, with revert.
+
+A production system adjusting its knowledge graph from user feedback
+needs to answer "who changed this edge, when, and why?" and to undo a
+bad batch (a brigaded vote wave, a mis-configured run).  The audit log
+records every optimization pass as an entry of per-edge
+``(before, after)`` pairs plus provenance (strategy, vote count), and
+supports:
+
+- querying the change history of a single edge;
+- reverting the most recent entries (LIFO, so intermediate states are
+  reconstructed exactly);
+- JSON export/import for offline analysis.
+
+The batch drivers do not write the log themselves (they are pure
+functions over graphs); the integration point is
+:meth:`AuditLog.record` called with a driver's ``changed_edges``
+mapping, as :class:`~repro.optimize.online.OnlineOptimizer` users do in
+``examples/online_feedback_loop.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.graph.augmented import AugmentedGraph
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One recorded optimization pass."""
+
+    index: int
+    strategy: str
+    num_votes: int
+    changes: tuple  # ((head, tail, before, after), ...)
+
+    @property
+    def num_edges(self) -> int:
+        """How many edges this pass changed."""
+        return len(self.changes)
+
+
+@dataclass
+class AuditLog:
+    """Append-only history of weight changes with revert support."""
+
+    entries: list[AuditEntry] = field(default_factory=list)
+
+    def record(
+        self,
+        changed_edges: Mapping,
+        *,
+        strategy: str = "multi",
+        num_votes: int = 0,
+    ) -> AuditEntry:
+        """Append one pass.
+
+        Parameters
+        ----------
+        changed_edges:
+            ``{(head, tail): (before, after)}`` as returned in every
+            driver report's ``changed_edges``.
+        strategy, num_votes:
+            Provenance for the entry.
+        """
+        changes = tuple(
+            (head, tail, float(before), float(after))
+            for (head, tail), (before, after) in changed_edges.items()
+        )
+        entry = AuditEntry(
+            index=len(self.entries),
+            strategy=strategy,
+            num_votes=int(num_votes),
+            changes=changes,
+        )
+        self.entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def edge_history(self, head, tail) -> list[tuple[int, float, float]]:
+        """``(entry index, before, after)`` for every change of one edge."""
+        history = []
+        for entry in self.entries:
+            for h, t, before, after in entry.changes:
+                if h == head and t == tail:
+                    history.append((entry.index, before, after))
+        return history
+
+    def total_drift(self) -> float:
+        """Sum of |after − before| across all recorded changes."""
+        return sum(
+            abs(after - before)
+            for entry in self.entries
+            for _h, _t, before, after in entry.changes
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # revert
+    # ------------------------------------------------------------------
+    def revert_last(self, aug: AugmentedGraph, *, passes: int = 1) -> int:
+        """Undo the most recent ``passes`` entries on ``aug`` (LIFO).
+
+        Returns the number of edge writes performed.  Reverting entry N
+        restores each changed edge to its recorded ``before`` value; if
+        the edge has been modified again since (out of log order), the
+        revert raises rather than silently clobbering unknown state.
+        """
+        if passes < 1:
+            raise ReproError(f"passes must be ≥ 1, got {passes}")
+        if passes > len(self.entries):
+            raise ReproError(
+                f"cannot revert {passes} passes; only {len(self.entries)} recorded"
+            )
+        writes = 0
+        for _ in range(passes):
+            entry = self.entries.pop()
+            for head, tail, before, after in entry.changes:
+                current = aug.graph.weight(head, tail)
+                if abs(current - after) > 1e-9:
+                    self.entries.append(entry)  # leave the log consistent
+                    raise ReproError(
+                        f"edge {head!r}->{tail!r} is {current:.6f}, expected "
+                        f"{after:.6f} from entry {entry.index}; the graph has "
+                        f"diverged from the log"
+                    )
+                aug.set_kg_weight(head, tail, before)
+                writes += 1
+        return writes
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: "str | Path") -> None:
+        """Write the log to JSON."""
+        payload = {
+            "format": "repro-audit-log",
+            "entries": [
+                {
+                    "index": entry.index,
+                    "strategy": entry.strategy,
+                    "num_votes": entry.num_votes,
+                    "changes": [list(change) for change in entry.changes],
+                }
+                for entry in self.entries
+            ],
+        }
+        Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "AuditLog":
+        """Read a log previously written by :meth:`save`."""
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"{path}: not valid JSON") from exc
+        if not isinstance(payload, dict) or payload.get("format") != "repro-audit-log":
+            raise ReproError(f"{path}: not a repro audit log")
+        log = cls()
+        for raw in payload["entries"]:
+            log.entries.append(
+                AuditEntry(
+                    index=int(raw["index"]),
+                    strategy=str(raw["strategy"]),
+                    num_votes=int(raw["num_votes"]),
+                    changes=tuple(
+                        (h, t, float(before), float(after))
+                        for h, t, before, after in raw["changes"]
+                    ),
+                )
+            )
+        return log

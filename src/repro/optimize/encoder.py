@@ -1,0 +1,284 @@
+"""Encoding votes into SGP programs (Sections IV-B and V).
+
+For every vote the encoder:
+
+1. collects the adjustable (entity→entity) edges on any ≤ L walk from
+   the vote's query to any shown answer and registers them as variables
+   (``ObtainVariableSet`` of Algorithm 1);
+2. builds the symbolic similarity ``Φ_L`` of each shown answer as a
+   posynomial over those variables (one shared walk enumeration per
+   vote);
+3. emits one constraint per non-best answer:
+
+   - hard form (Eq. 11/13):  ``Φ(other) − Φ(best) + margin ≤ 0``;
+   - deviation form (Eq. 15): ``Φ(other) − Φ(best) − d + margin ≤ 0``
+     with a fresh deviation variable ``d`` per constraint.
+
+Two numerical refinements over the paper's formal presentation (both are
+solver hygiene, not semantic changes):
+
+- **Constraint scaling.**  Raw similarities live at ``1e-3``–``1e-6``
+  scale, far below solver tolerances.  Each vote's constraints are
+  divided by the best answer's current similarity, so "beat the best
+  answer" becomes a ~unit-scale inequality, the relative ``margin`` has
+  a uniform meaning across votes, and the deviation variables (and the
+  sigmoid's ``w``) operate at the scale Fig. 2 depicts.
+- **Deviation shifting.**  SGP variables are positive, but deviations
+  must range over negative values (``d ≤ 0`` = constraint satisfied).
+  Each deviation is stored as ``d' = d + shift`` with ``shift = 1``;
+  the encoder rewrites constraints accordingly and the sigmoid
+  objective (:mod:`repro.optimize.objectives`) undoes the shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SGPModelError
+from repro.graph.augmented import AugmentedGraph
+from repro.paths.edgesets import vote_edge_set
+from repro.paths.polynomial import EdgeVariableIndex, path_polynomials
+from repro.sgp.problem import SGPProblem
+from repro.sgp.terms import Signomial
+from repro.similarity.inverse_pdistance import (
+    DEFAULT_MAX_LENGTH,
+    DEFAULT_RESTART_PROB,
+)
+from repro.votes.types import Vote, VoteSet
+
+#: Default box bounds for edge-weight variables: weights stay valid
+#: transition probabilities, bounded away from zero so the positive
+#: orthant (and log-space evaluation) is respected.
+DEFAULT_LOWER = 1e-4
+DEFAULT_UPPER = 1.0
+
+#: Shift applied to deviation variables so they are positive to the solver.
+DEVIATION_SHIFT = 1.0
+
+#: Upper bound on an (unshifted) deviation.  The paper leaves deviations
+#: unbounded above; a large finite cap keeps the box bounds finite while
+#: letting a deviation absorb any realistic constraint violation, so
+#: hard conflicts never force weight movement on their own.
+DEVIATION_MAX = 1e6
+
+#: Default relative margin: the best answer must beat each rival by this
+#: fraction of its own current similarity.
+DEFAULT_MARGIN = 1e-3
+
+
+@dataclass
+class EncodedProgram:
+    """An SGP program together with its variable bookkeeping.
+
+    Attributes
+    ----------
+    problem:
+        The ready-to-solve :class:`SGPProblem` (objective *not* set —
+        the single-vote and multi-vote drivers attach different ones).
+    variables:
+        Edge-variable index.  Ids ``0 .. num_edge_vars-1`` are edge
+        weights; ids ``num_edge_vars ..`` are (shifted) deviation
+        variables, in constraint order.
+    num_edge_vars, num_deviation_vars:
+        Block sizes.
+    constraint_votes:
+        For each constraint, the index (into the *input* vote list,
+        which is stored in ``votes``) of the vote it came from — used
+        when reporting which votes ended up satisfied.
+    skipped_votes:
+        Votes that produced no constraints (no adjustable edges on any
+        walk, or an unreachable best answer) and are excluded from the
+        program.
+    """
+
+    problem: SGPProblem
+    variables: EdgeVariableIndex
+    num_edge_vars: int
+    num_deviation_vars: int
+    votes: list[Vote] = field(default_factory=list)
+    constraint_votes: list[int] = field(default_factory=list)
+    skipped_votes: list[Vote] = field(default_factory=list)
+
+    @property
+    def deviation_ids(self) -> list[int]:
+        """The variable ids of the deviation block."""
+        return list(range(self.num_edge_vars, self.num_edge_vars + self.num_deviation_vars))
+
+    @property
+    def constraint_weights(self) -> list[float]:
+        """Per-constraint trust weights (the source vote's ``weight``)."""
+        return [self.votes[i].weight for i in self.constraint_votes]
+
+    def edge_values(self, x: np.ndarray) -> dict:
+        """Map a solution vector back to ``{(head, tail): weight}``."""
+        return {
+            self.variables.edge_of(var): float(x[var])
+            for var in range(self.num_edge_vars)
+        }
+
+    def deviation_values(self, x: np.ndarray) -> np.ndarray:
+        """Unshifted deviation values ``d`` (negative = satisfied)."""
+        ids = self.deviation_ids
+        return np.asarray(x)[ids] - DEVIATION_SHIFT if ids else np.zeros(0)
+
+
+def encode_votes(
+    aug: AugmentedGraph,
+    votes: "VoteSet | list[Vote]",
+    *,
+    use_deviations: bool = True,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    restart_prob: float = DEFAULT_RESTART_PROB,
+    margin: float = DEFAULT_MARGIN,
+    lower: float = DEFAULT_LOWER,
+    upper: float = DEFAULT_UPPER,
+    scale_constraints: bool = True,
+) -> EncodedProgram:
+    """Encode a batch of votes into one SGP program.
+
+    Parameters
+    ----------
+    aug:
+        The augmented graph whose current weights seed the variables.
+    votes:
+        The votes to encode.  The single-vote driver passes a list of
+        one; the multi-vote driver passes the whole (filtered) set.
+    use_deviations:
+        Add a deviation variable per constraint (Eq. 15, multi-vote).
+        Without them the constraints are hard (Eq. 11, single-vote).
+    margin:
+        Required winning gap.  With ``scale_constraints`` this is
+        *relative* to the best answer's current similarity; otherwise it
+        is an absolute similarity gap.
+    lower, upper:
+        Box bounds for edge-weight variables.
+    scale_constraints:
+        Normalize each vote's constraints by the best answer's current
+        similarity (see the module docstring).
+
+    Returns
+    -------
+    EncodedProgram
+        With constraints installed and bounds/initial point set; the
+        caller attaches an objective and solves.
+
+    Notes
+    -----
+    Votes whose best answer has zero current similarity and no variable
+    terms (unreachable within ``L``) are skipped and recorded — no
+    weight assignment can help them, mirroring the feasibility filter's
+    judgment for this degenerate case.
+    """
+    vote_list = list(votes)
+    if not vote_list:
+        raise SGPModelError("cannot encode an empty vote collection")
+    if not 0 < lower <= upper:
+        raise SGPModelError(f"bad bounds: lower={lower}, upper={upper}")
+
+    graph = aug.graph
+    variables = EdgeVariableIndex()
+    # Pass 1: register the adjustable edges of every vote so variable ids
+    # are stable before any polynomial is built.
+    per_vote_edges = []
+    for vote in vote_list:
+        edges = vote_edge_set(graph, vote.query, vote.ranked_answers, max_length)
+        adjustable = {e for e in edges if aug.is_kg_edge(*e)}
+        per_vote_edges.append(adjustable)
+        for head, tail in sorted(adjustable, key=repr):
+            variables.register(head, tail)
+    num_edge_vars = len(variables)
+
+    # Pass 2: build polynomials and constraints.
+    pending: list[tuple[int, Signomial, float]] = []  # (vote idx, signomial, scale)
+    skipped: list[Vote] = []
+    for vote_idx, vote in enumerate(vote_list):
+        polynomials = path_polynomials(
+            graph,
+            vote.query,
+            vote.ranked_answers,
+            variables,
+            max_length=max_length,
+            restart_prob=restart_prob,
+        )
+        best_poly = polynomials[vote.best_answer]
+        if best_poly.num_terms == 0:
+            skipped.append(vote)
+            continue
+        if scale_constraints:
+            initial = variables.initial_values(graph)
+            x0_map = {var: value for var, value in enumerate(initial)}
+            best_now = best_poly.evaluate(x0_map) if num_edge_vars else (
+                best_poly.constant_value()
+            )
+            scale = 1.0 / max(best_now, 1e-30)
+        else:
+            scale = 1.0
+        emitted = False
+        for other in vote.others():
+            difference = (polynomials[other] - best_poly) * scale
+            if difference.num_terms == 0:
+                continue  # structurally identical similarities; nothing to do
+            pending.append((vote_idx, difference, scale))
+            emitted = True
+        if not emitted:
+            skipped.append(vote)
+
+    if num_edge_vars == 0 or not pending:
+        raise SGPModelError(
+            "the votes touch no adjustable edges; nothing to optimize"
+        )
+
+    num_deviation_vars = len(pending) if use_deviations else 0
+    initial = variables.initial_values(graph)
+    x0 = list(np.clip(initial, lower, upper))
+    lower_bounds = [lower] * num_edge_vars
+    upper_bounds = [upper] * num_edge_vars
+
+    problem_constraints = []
+    if use_deviations:
+        for dev_offset, (vote_idx, difference, _scale) in enumerate(pending):
+            dev_id = num_edge_vars + dev_offset
+            # g(x) − d ≤ 0 with d = d' − shift:  g(x) − d' + shift ≤ 0.
+            with_deviation = difference.copy()
+            with_deviation.add_term(-1.0, {dev_id: 1.0})
+            with_deviation.add_term(DEVIATION_SHIFT, {})
+            problem_constraints.append((vote_idx, with_deviation))
+        # Deviation block: d' ∈ (ε, shift + MAX], i.e. d ∈ (−shift, +MAX].
+        lower_bounds += [1e-9] * num_deviation_vars
+        upper_bounds += [DEVIATION_SHIFT + DEVIATION_MAX] * num_deviation_vars
+    else:
+        problem_constraints = [(vote_idx, diff) for vote_idx, diff, _ in pending]
+
+    problem = SGPProblem(
+        x0 + [DEVIATION_SHIFT] * num_deviation_vars,
+        lower=lower_bounds,
+        upper=upper_bounds,
+    )
+    constraint_votes: list[int] = []
+    for index, (vote_idx, signomial) in enumerate(problem_constraints):
+        problem.add_constraint(
+            signomial,
+            name=f"v{vote_idx}:c{index}",
+            margin=float(margin),
+        )
+        constraint_votes.append(vote_idx)
+
+    # Deviations start at d = 0 (stored d' = shift).  Starting instead at
+    # the feasibility residual looks attractive (the solver begins
+    # strictly feasible) but parks violated constraints deep in the
+    # sigmoid's saturated region where its gradient vanishes, so the
+    # solver never pulls them back.  At d = 0 the sigmoid gradient is
+    # maximal and the constraint residual is handled by the solver's own
+    # feasibility restoration.
+
+    return EncodedProgram(
+        problem=problem,
+        variables=variables,
+        num_edge_vars=num_edge_vars,
+        num_deviation_vars=num_deviation_vars,
+        votes=vote_list,
+        constraint_votes=constraint_votes,
+        skipped_votes=skipped,
+    )

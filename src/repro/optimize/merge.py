@@ -1,0 +1,88 @@
+"""The merge rule of the split-and-merge strategy (Section VI-A).
+
+After the per-cluster SGPs are solved, each cluster reports how it
+changed each edge weight.  Because Affinity Propagation minimizes
+cross-cluster edge overlap, most edges are changed by exactly one
+cluster; for the others the paper's voting mechanism decides:
+
+- the *sign* of the merged change is the sign of the vote-count-weighted
+  sum ``Σ_C n_C · Δx_C``;
+- the *magnitude* is the extreme in that direction — the maximum of the
+  per-cluster changes when the sign is positive, the minimum when
+  negative (the paper's Fig. 4 example: changes ⟨−0.01, +0.03, +0.07⟩
+  with counts ⟨10, 8, 9⟩ merge to +0.07).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ReproError
+
+#: Deltas below this magnitude count as "unchanged" for merge purposes.
+MERGE_TOL = 1e-9
+
+
+def merge_changes(
+    cluster_deltas: Sequence[tuple[Mapping, int]],
+) -> dict:
+    """Merge per-cluster weight changes into one delta per edge.
+
+    Parameters
+    ----------
+    cluster_deltas:
+        One ``({edge: delta}, num_votes)`` pair per cluster, where
+        ``delta`` is the cluster's (signed) change to the edge weight
+        and ``num_votes`` is the cluster's vote count ``n_C`` (or, with
+        trust-weighted votes, the cluster's total trust weight — any
+        non-negative real).
+
+    Returns
+    -------
+    dict
+        ``{edge: merged_delta}`` over every edge any cluster changed.
+    """
+    if not cluster_deltas:
+        raise ReproError("merge_changes needs at least one cluster result")
+    per_edge: dict = {}
+    for deltas, num_votes in cluster_deltas:
+        if num_votes < 0:
+            raise ReproError(f"negative vote count {num_votes}")
+        for edge, delta in deltas.items():
+            if abs(delta) <= MERGE_TOL:
+                continue
+            per_edge.setdefault(edge, []).append((float(delta), float(num_votes)))
+
+    merged: dict = {}
+    for edge, entries in per_edge.items():
+        if len(entries) == 1:
+            merged[edge] = entries[0][0]
+            continue
+        weighted_sum = sum(delta * votes for delta, votes in entries)
+        deltas_only = [delta for delta, _ in entries]
+        merged[edge] = max(deltas_only) if weighted_sum >= 0 else min(deltas_only)
+    return merged
+
+
+def merged_weights(
+    base_weights: Mapping,
+    merged_deltas: Mapping,
+    *,
+    lower: float = 1e-4,
+    upper: float = 1.0,
+) -> dict:
+    """Apply merged deltas to the base weights, clipped into bounds.
+
+    ``base_weights`` are the pre-split weights of the edges in
+    ``merged_deltas``; the clip keeps the result a legal transition
+    probability even when two clusters pushed the same edge in the same
+    direction (their extremes can overshoot).
+    """
+    out = {}
+    for edge, delta in merged_deltas.items():
+        try:
+            base = float(base_weights[edge])
+        except KeyError:
+            raise ReproError(f"no base weight recorded for edge {edge!r}") from None
+        out[edge] = min(max(base + float(delta), lower), upper)
+    return out

@@ -1,0 +1,113 @@
+"""The online feedback loop: votes stream in, the graph keeps improving.
+
+:class:`OnlineOptimizer` is the deployment-shaped wrapper around the
+batch solutions: it buffers incoming votes, asks a batching policy
+(:mod:`repro.votes.stream`) when to optimize, runs the configured
+strategy over each batch on the *live* graph, and keeps a trajectory of
+per-batch outcomes so the operator can watch quality converge.
+
+A strategy escalation mirrors the paper's efficiency story: small
+batches go to the basic multi-vote solution, large batches to
+split-and-merge (whose clustering overhead only pays off at scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VoteError
+from repro.eval.harness import vote_omega_avg
+from repro.graph.augmented import AugmentedGraph
+from repro.optimize.multi_vote import solve_multi_vote
+from repro.optimize.split_merge import solve_split_merge
+from repro.votes.stream import CountPolicy
+from repro.votes.types import Vote, VoteSet
+
+
+@dataclass
+class BatchOutcome:
+    """One optimization pass over one batch of streamed votes."""
+
+    batch_index: int
+    num_votes: int
+    num_negative: int
+    strategy: str
+    omega_avg: float
+    elapsed: float
+    changed_edges: int
+
+
+@dataclass
+class OnlineOptimizer:
+    """Streaming wrapper over the batch optimizers.
+
+    Parameters
+    ----------
+    aug:
+        The live augmented graph; optimized *in place* batch by batch.
+    policy:
+        A batching policy with ``should_optimize(pending) -> bool``
+        (defaults to every 10 votes).
+    split_merge_threshold:
+        Batches with at least this many votes use split-and-merge
+        instead of the basic multi-vote solution.
+    options:
+        Extra keyword arguments forwarded to the batch solvers.
+    """
+
+    aug: AugmentedGraph
+    policy: object = field(default_factory=CountPolicy)
+    split_merge_threshold: int = 15
+    options: dict = field(default_factory=dict)
+    pending: VoteSet = field(default_factory=VoteSet)
+    history: list[BatchOutcome] = field(default_factory=list)
+
+    def submit(self, vote: Vote) -> "BatchOutcome | None":
+        """Buffer one vote; optimize (and return the outcome) if due."""
+        if not isinstance(vote, Vote):
+            raise VoteError(f"expected a Vote, got {type(vote).__name__}")
+        self.pending.add(vote)
+        if self.policy.should_optimize(self.pending):
+            return self.flush()
+        return None
+
+    def flush(self) -> "BatchOutcome | None":
+        """Optimize against all pending votes now (no-op when empty)."""
+        if not len(self.pending):
+            return None
+        batch = self.pending
+        self.pending = VoteSet()
+
+        if len(batch) >= self.split_merge_threshold:
+            strategy = "split-merge"
+            _, run = solve_split_merge(
+                self.aug, batch, in_place=True, **self.options
+            )
+            changed = len(run.changed_edges)
+        else:
+            strategy = "multi"
+            _, run = solve_multi_vote(
+                self.aug, batch, in_place=True, **self.options
+            )
+            changed = len(run.changed_edges)
+
+        outcome = BatchOutcome(
+            batch_index=len(self.history),
+            num_votes=len(batch),
+            num_negative=batch.num_negative,
+            strategy=strategy,
+            omega_avg=vote_omega_avg(self.aug, batch),
+            elapsed=run.elapsed,
+            changed_edges=changed,
+        )
+        self.history.append(outcome)
+        return outcome
+
+    @property
+    def total_votes_processed(self) -> int:
+        """Votes consumed by completed optimization passes."""
+        return sum(outcome.num_votes for outcome in self.history)
+
+    def omega_trajectory(self) -> list[float]:
+        """Per-batch Ω_avg values, in batch order."""
+        return [outcome.omega_avg for outcome in self.history]

@@ -1,0 +1,29 @@
+"""Path enumeration substrate.
+
+The extended inverse P-distance (Eq. 7) sums over *walks* — node
+sequences that may revisit nodes — from a query node to an answer node,
+truncated at length ``L`` (Section IV-A's pruning).  This subpackage
+provides:
+
+- :mod:`repro.paths.walks` — bounded-length walk enumeration;
+- :mod:`repro.paths.polynomial` — the symbolic form of the truncated
+  similarity as a signomial over edge-weight variables (the object the
+  SGP encoder manipulates);
+- :mod:`repro.paths.edgesets` — the edge set ``E(t)`` touched by a
+  vote's similarity evaluation (Eq. 20) computed without enumeration.
+"""
+
+from repro.paths.walks import enumerate_walks, walk_probability, count_walks
+from repro.paths.polynomial import EdgeVariableIndex, path_polynomial, path_polynomials
+from repro.paths.edgesets import reachable_edge_set, vote_edge_set
+
+__all__ = [
+    "enumerate_walks",
+    "walk_probability",
+    "count_walks",
+    "EdgeVariableIndex",
+    "path_polynomial",
+    "path_polynomials",
+    "reachable_edge_set",
+    "vote_edge_set",
+]

@@ -1,0 +1,110 @@
+"""Edge sets touched by a vote's similarity evaluation.
+
+Two sections of the paper need, for a query node ``v_q`` and an answer
+node ``v_a``, the set of edges that lie on *some* walk of at most ``L``
+edges from ``v_q`` to ``v_a``:
+
+- the feasibility judgment's ``Set(v_a*)`` / ``Set(v_a_{rank-1})``
+  (Section V, the "extreme condition");
+- the vote similarity ``Sim(t_i, t_j)`` of the split strategy, which is
+  the Jaccard overlap of the votes' edge sets ``E(t)`` (Eq. 20).
+
+Enumerating walks to collect edges would cost ``O(d^L)``; instead we
+compute shortest-distance labels forward from the source and backward
+from the target, and keep edge ``(u, v)`` iff
+``dist_from_source(u) + 1 + dist_to_target(v) ≤ L`` — the exact
+condition for the edge to appear on at least one within-budget walk.
+This is two BFS traversals, ``O(L · |E|)`` worst case.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import Node, WeightedDiGraph
+
+EdgeKey = tuple[Node, Node]
+
+
+def _bounded_distances(
+    graph: WeightedDiGraph, start: Node, max_depth: int, *, reverse: bool
+) -> dict[Node, int]:
+    """BFS hop distances from ``start`` up to ``max_depth`` (inclusive).
+
+    With ``reverse=True`` distances are measured along predecessor
+    edges, i.e. the result maps ``v -> shortest #edges from v to start``.
+    """
+    if not graph.has_node(start):
+        raise NodeNotFoundError(start)
+    distances: dict[Node, int] = {start: 0}
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        depth = distances[node]
+        if depth >= max_depth:
+            continue
+        neighbours = (
+            graph.predecessors(node) if reverse else graph.successors(node)
+        )
+        for neighbour in neighbours:
+            if neighbour not in distances:
+                distances[neighbour] = depth + 1
+                frontier.append(neighbour)
+    return distances
+
+
+def reachable_edge_set(
+    graph: WeightedDiGraph,
+    source: Node,
+    target: Node,
+    max_length: int,
+) -> set[EdgeKey]:
+    """Edges on at least one walk of ≤ ``max_length`` edges from source to target.
+
+    This is the paper's ``Set(v_a)`` for the feasibility judgment.  The
+    result is empty when the target is unreachable within the budget.
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be at least 1, got {max_length}")
+    forward = _bounded_distances(graph, source, max_length, reverse=False)
+    backward = _bounded_distances(graph, target, max_length, reverse=True)
+    edges: set[EdgeKey] = set()
+    for head, d_head in forward.items():
+        if d_head >= max_length:
+            continue
+        for tail in graph.successors(head):
+            d_tail = backward.get(tail)
+            if d_tail is not None and d_head + 1 + d_tail <= max_length:
+                edges.add((head, tail))
+    return edges
+
+
+def vote_edge_set(
+    graph: WeightedDiGraph,
+    query: Node,
+    answers: Iterable[Node],
+    max_length: int,
+) -> set[EdgeKey]:
+    """The edge set ``E(t)`` of a vote (Eq. 20).
+
+    A vote's similarity evaluation touches every edge on some ≤ L walk
+    from its query node to *any* of its top-k answer nodes; ``E(t)`` is
+    the union over answers.  The forward BFS from the query is shared
+    across answers.
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be at least 1, got {max_length}")
+    forward = _bounded_distances(graph, query, max_length, reverse=False)
+    edges: set[EdgeKey] = set()
+    for answer in answers:
+        backward = _bounded_distances(graph, answer, max_length, reverse=True)
+        for head, d_head in forward.items():
+            if d_head >= max_length:
+                continue
+            for tail in graph.successors(head):
+                d_tail = backward.get(tail)
+                if d_tail is not None and d_head + 1 + d_tail <= max_length:
+                    edges.add((head, tail))
+    return edges

@@ -1,0 +1,183 @@
+"""Symbolic path polynomials: the truncated similarity as a signomial.
+
+For the SGP encoding (Section IV-B) each adjustable edge weight becomes
+a variable ``x_{i,j}``.  The truncated extended inverse P-distance
+
+    Φ_L(v_q, v_a) = Σ_{walks z, |z| ≤ L}  P[z] · c · (1 − c)^{|z|}
+
+is then a *posynomial* in those variables: each walk contributes one
+term whose coefficient folds in ``c (1 − c)^{|z|}`` and the weights of
+the fixed (non-variable) edges on the walk — query links and answer
+links — and whose exponents count how many times the walk uses each
+variable edge.  Constraint signomials (Eq. 11/13) are differences of two
+such posynomials.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SGPModelError
+from repro.graph.digraph import Node, WeightedDiGraph
+from repro.paths.walks import Walk, enumerate_walks
+from repro.sgp.terms import Signomial
+from repro.utils.validation import check_fraction
+
+EdgeKey = tuple[Node, Node]
+
+
+class EdgeVariableIndex:
+    """Bidirectional mapping between adjustable edges and variable ids.
+
+    The optimizer creates one index per SGP program; ids are dense
+    integers ``0 .. n-1`` assigned in registration order, so they double
+    as positions in the solver's variable vector.  Edges not registered
+    here (query/answer links, or KG edges outside the votes' reach) are
+    treated as constants by :func:`path_polynomial`.
+    """
+
+    def __init__(self) -> None:
+        self._id_of: dict[EdgeKey, int] = {}
+        self._edge_of: list[EdgeKey] = []
+
+    def register(self, head: Node, tail: Node) -> int:
+        """Register edge ``head -> tail`` (idempotent); returns its id."""
+        key = (head, tail)
+        existing = self._id_of.get(key)
+        if existing is not None:
+            return existing
+        var = len(self._edge_of)
+        self._id_of[key] = var
+        self._edge_of.append(key)
+        return var
+
+    def id_of(self, head: Node, tail: Node) -> int:
+        """The variable id of a registered edge; raises if unknown."""
+        try:
+            return self._id_of[(head, tail)]
+        except KeyError:
+            raise SGPModelError(f"edge {head!r} -> {tail!r} is not a variable") from None
+
+    def contains(self, head: Node, tail: Node) -> bool:
+        """Whether ``head -> tail`` is registered as a variable."""
+        return (head, tail) in self._id_of
+
+    def edge_of(self, var: int) -> EdgeKey:
+        """The ``(head, tail)`` pair of variable ``var``."""
+        return self._edge_of[var]
+
+    def edges(self) -> Sequence[EdgeKey]:
+        """All registered edges in id order."""
+        return tuple(self._edge_of)
+
+    def initial_values(self, graph: WeightedDiGraph) -> list[float]:
+        """Current weights of all registered edges, in id order.
+
+        This is the ``x_{i,j} ← G*_{i,j}`` initialization of Algorithm 1
+        (lines 5–8).
+        """
+        return [graph.weight(head, tail) for head, tail in self._edge_of]
+
+    def __len__(self) -> int:
+        return len(self._edge_of)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<EdgeVariableIndex vars={len(self._edge_of)}>"
+
+
+def walk_term(
+    graph: WeightedDiGraph,
+    walk: Walk,
+    variables: EdgeVariableIndex,
+    restart_prob: float,
+) -> tuple[float, dict[int, float]]:
+    """The signomial term contributed by one walk.
+
+    Returns ``(coefficient, exponents)`` where the coefficient is
+    ``c (1 − c)^{|z|}`` times the fixed-edge weights and the exponents
+    count occurrences of each variable edge (a walk may traverse an edge
+    more than once, giving exponents above one).
+    """
+    length = len(walk) - 1
+    coeff = restart_prob * (1.0 - restart_prob) ** length
+    exponents: dict[int, float] = {}
+    for head, tail in zip(walk, walk[1:]):
+        if variables.contains(head, tail):
+            var = variables.id_of(head, tail)
+            exponents[var] = exponents.get(var, 0.0) + 1.0
+        else:
+            coeff *= graph.weight(head, tail)
+    return coeff, exponents
+
+
+def path_polynomial(
+    graph: WeightedDiGraph,
+    source: Node,
+    target: Node,
+    variables: EdgeVariableIndex,
+    *,
+    max_length: int = 5,
+    restart_prob: float = 0.15,
+) -> Signomial:
+    """Build ``Φ_L(source, target)`` as a posynomial signomial.
+
+    Walks are enumerated up to ``max_length`` edges; each contributes
+    one term via :func:`walk_term`.  Evaluating the result at the
+    current edge weights reproduces the numeric truncated similarity
+    exactly (property-tested in ``tests/test_paths_polynomial.py``).
+    """
+    return path_polynomials(
+        graph,
+        source,
+        [target],
+        variables,
+        max_length=max_length,
+        restart_prob=restart_prob,
+    )[target]
+
+
+def path_polynomials(
+    graph: WeightedDiGraph,
+    source: Node,
+    targets: Iterable[Node],
+    variables: EdgeVariableIndex,
+    *,
+    max_length: int = 5,
+    restart_prob: float = 0.15,
+) -> dict[Node, Signomial]:
+    """Build the polynomials for several targets in one enumeration sweep.
+
+    The SGP encoder calls this once per vote with the vote's full top-k
+    answer list, so the ``O(d^L)`` walk enumeration from the query node
+    is shared across all k constraints.
+    """
+    check_fraction("restart_prob", restart_prob)
+    walks_by_target = enumerate_walks(graph, source, targets, max_length)
+    polynomials: dict[Node, Signomial] = {}
+    for target, walks in walks_by_target.items():
+        polynomial = Signomial()
+        for walk in walks:
+            coeff, exponents = walk_term(graph, walk, variables, restart_prob)
+            polynomial.add_term(coeff, exponents)
+        polynomials[target] = polynomial
+    return polynomials
+
+
+def register_reachable_edges(
+    variables: EdgeVariableIndex,
+    edges: Iterable[EdgeKey],
+    is_adjustable,
+) -> list[int]:
+    """Register every adjustable edge from ``edges`` into ``variables``.
+
+    ``is_adjustable`` is a predicate ``(head, tail) -> bool`` — the
+    optimizer passes :meth:`AugmentedGraph.is_kg_edge` so that only
+    entity→entity edges become variables while query/answer links stay
+    constant.  Returns the (possibly empty) list of newly assigned or
+    existing ids, in input order.
+    """
+    ids = []
+    for head, tail in edges:
+        if is_adjustable(head, tail):
+            ids.append(variables.register(head, tail))
+    return ids

@@ -1,0 +1,133 @@
+"""Bounded-length walk enumeration.
+
+Eq. 7 of the paper sums over all paths ``z : v_q ⇝ v_a`` "possibly
+touching some nodes in the graph multiple times" — i.e. *walks*.  The
+length ``|z|`` of ``z = ⟨v_q, v_1, ..., v_k, v_a⟩`` is its edge count
+``k + 1``.  Because every edge weight is below one, walk probability
+decays exponentially with length, and Section IV-A prunes walks longer
+than ``L`` (the paper settles on ``L = 5`` in Section VII-E).
+
+Enumeration cost is ``O(d^L)`` in the average degree ``d`` — exactly the
+complexity the paper reports for constructing one constraint — so these
+functions are used for the *symbolic* SGP encoding and for tests, while
+the numeric similarity evaluator (:mod:`repro.similarity`) uses an
+equivalent dynamic program.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+from repro.errors import NodeNotFoundError
+from repro.graph.digraph import Node, WeightedDiGraph
+
+Walk = tuple[Node, ...]
+
+
+def enumerate_walks(
+    graph: WeightedDiGraph,
+    source: Node,
+    targets: "Node | Iterable[Node]",
+    max_length: int,
+) -> dict[Node, list[Walk]]:
+    """Enumerate all walks of at most ``max_length`` edges from ``source``.
+
+    Parameters
+    ----------
+    graph:
+        The (augmented) graph to walk over.
+    source:
+        Start node (a query node in the paper's setting).
+    targets:
+        One node or an iterable of nodes; enumeration is shared across
+        targets, which is how the encoder builds the polynomials for all
+        top-k answers of one vote in a single sweep.
+    max_length:
+        Maximum number of edges per walk (the paper's ``L``).
+
+    Returns
+    -------
+    dict
+        ``target -> list of walks``, each walk a node tuple starting at
+        ``source`` and ending at the target.  Targets with no walk map
+        to an empty list (their similarity is 0 by definition).
+
+    Notes
+    -----
+    Walks may pass *through* a target and continue; every prefix that
+    ends on a target is recorded independently, matching the walk-sum
+    semantics of Eq. 7.
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be at least 1, got {max_length}")
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    # A bare str/int is one target; anything else must be an iterable of
+    # targets.  (Tuple node labels must therefore be wrapped in a list.)
+    target_set = {targets} if isinstance(targets, (str, int)) else set(targets)
+    for target in target_set:
+        if not graph.has_node(target):
+            raise NodeNotFoundError(target)
+
+    found: dict[Node, list[Walk]] = {target: [] for target in target_set}
+    # Iterative DFS over (walk prefix); recursion would overflow for large L.
+    stack: list[Walk] = [(source,)]
+    while stack:
+        walk = stack.pop()
+        node = walk[-1]
+        length = len(walk) - 1
+        if length > 0 and node in target_set:
+            found[node].append(walk)
+        if length >= max_length:
+            continue
+        for successor in graph.successors(node):
+            stack.append(walk + (successor,))
+    return found
+
+
+def walk_probability(graph: WeightedDiGraph, walk: Sequence[Node]) -> float:
+    """The product of edge weights along ``walk`` (``P[z]`` of Eq. 8)."""
+    if len(walk) < 2:
+        raise ValueError("a walk needs at least two nodes")
+    probability = 1.0
+    for head, tail in zip(walk, walk[1:]):
+        probability *= graph.weight(head, tail)
+    return probability
+
+
+def count_walks(
+    graph: WeightedDiGraph, source: Node, target: Node, max_length: int
+) -> int:
+    """Count walks of at most ``max_length`` edges from ``source`` to ``target``.
+
+    Useful for estimating encoding cost before committing to a full
+    enumeration (the count grows as ``O(d^L)``).
+    """
+    return len(enumerate_walks(graph, source, target, max_length)[target])
+
+
+def iter_walks(
+    graph: WeightedDiGraph, source: Node, target: Node, max_length: int
+) -> Iterator[Walk]:
+    """Generator variant of :func:`enumerate_walks` for a single target.
+
+    Yields walks lazily so callers can stop early (e.g. "does any walk
+    exist?" checks in the feasibility filter).
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be at least 1, got {max_length}")
+    if not graph.has_node(source):
+        raise NodeNotFoundError(source)
+    if not graph.has_node(target):
+        raise NodeNotFoundError(target)
+    stack: list[Walk] = [(source,)]
+    while stack:
+        walk = stack.pop()
+        node = walk[-1]
+        length = len(walk) - 1
+        if length > 0 and node == target:
+            yield walk
+        if length >= max_length:
+            continue
+        for successor in graph.successors(node):
+            stack.append(walk + (successor,))

@@ -1,0 +1,37 @@
+"""Question-answering application substrate.
+
+The paper's effectiveness study runs on a Q&A system built from Taobao
+customer-service question/HELP-document pairs (Section VII-A1).  That
+corpus is proprietary, so this subpackage provides the full equivalent
+pipeline on synthetic data (see DESIGN.md's substitution table):
+
+- :mod:`repro.qa.corpus` — a deterministic topical help-desk corpus
+  generator (documents, questions, ground-truth pairs);
+- :mod:`repro.qa.entities` — the entity extractor (vocabulary-driven,
+  standing in for the sequence-labelling extractor of [5]);
+- :mod:`repro.qa.kg_builder` — corpus → knowledge graph with
+  co-occurrence conditional-probability weights (Section III-A);
+- :mod:`repro.qa.system` — the interactive ask/vote/optimize loop;
+- :mod:`repro.qa.ir_baseline` — the IR coincidence-rate baseline of
+  Table V.
+"""
+
+from repro.qa.corpus import Document, HelpdeskCorpus, QAPair, generate_helpdesk_corpus
+from repro.qa.entities import EntityVocabulary, tokenize
+from repro.qa.kg_builder import build_knowledge_graph, cooccurrence_counts
+from repro.qa.system import QASystem
+from repro.qa.ir_baseline import ir_rank, ir_scores
+
+__all__ = [
+    "Document",
+    "QAPair",
+    "HelpdeskCorpus",
+    "generate_helpdesk_corpus",
+    "EntityVocabulary",
+    "tokenize",
+    "build_knowledge_graph",
+    "cooccurrence_counts",
+    "QASystem",
+    "ir_rank",
+    "ir_scores",
+]

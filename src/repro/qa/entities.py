@@ -1,0 +1,95 @@
+"""Entity extraction.
+
+The paper extracts technical-term entities from questions and HELP
+documents "by using the sequential labelling method [5]" and links text
+to the knowledge graph through occurrence counts.  The extractor is a
+black box to the rest of the framework — all downstream code consumes
+``{entity: count}`` mappings — so this module provides the simplest
+faithful substitute: a vocabulary-driven extractor over normalized
+tokens, with support for multi-word entities via greedy longest-match.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.errors import CorpusError
+
+_TOKEN_RE = re.compile(r"[a-z0-9_]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and split ``text`` into alphanumeric tokens."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+class EntityVocabulary:
+    """A closed vocabulary of entity terms with an extractor.
+
+    Parameters
+    ----------
+    entities:
+        Entity names.  Multi-word entities ("send message") are matched
+        greedily, longest first, over the token stream.
+
+    Notes
+    -----
+    Matching is case-insensitive and non-overlapping: once a multi-word
+    entity consumes tokens, those tokens cannot also match a shorter
+    entity — the behaviour a practical NER stage exhibits.
+    """
+
+    def __init__(self, entities: Iterable[str]) -> None:
+        self._phrases: dict[tuple[str, ...], str] = {}
+        for entity in entities:
+            token_key = tuple(tokenize(entity))
+            if not token_key:
+                raise CorpusError(f"entity {entity!r} contains no tokens")
+            if token_key in self._phrases:
+                raise CorpusError(
+                    f"entities {entity!r} and {self._phrases[token_key]!r} "
+                    f"normalize to the same tokens"
+                )
+            self._phrases[token_key] = entity
+        if not self._phrases:
+            raise CorpusError("an entity vocabulary cannot be empty")
+        self._max_len = max(len(k) for k in self._phrases)
+
+    @property
+    def entities(self) -> frozenset[str]:
+        """The canonical entity names."""
+        return frozenset(self._phrases.values())
+
+    def __len__(self) -> int:
+        return len(self._phrases)
+
+    def __contains__(self, entity: str) -> bool:
+        return tuple(tokenize(entity)) in self._phrases
+
+    def extract(self, text: str) -> Counter:
+        """Count entity occurrences in ``text``.
+
+        Returns a :class:`collections.Counter` of canonical entity names
+        (empty when no entity matches).  Greedy longest-match: at each
+        position the longest vocabulary phrase starting there wins.
+        """
+        tokens = tokenize(text)
+        counts: Counter = Counter()
+        position = 0
+        while position < len(tokens):
+            matched = 0
+            for length in range(min(self._max_len, len(tokens) - position), 0, -1):
+                window = tuple(tokens[position : position + length])
+                entity = self._phrases.get(window)
+                if entity is not None:
+                    counts[entity] += 1
+                    matched = length
+                    break
+            position += matched if matched else 1
+        return counts
+
+    def extract_many(self, texts: Iterable[str]) -> list[Counter]:
+        """Extract from several texts (convenience for corpus builders)."""
+        return [self.extract(text) for text in texts]

@@ -1,0 +1,111 @@
+"""Building the knowledge graph from a corpus (Section III-A).
+
+The paper initializes entity-relation weights with conditional
+co-occurrence probabilities over the answer documents:
+
+    w(v_i, v_j) = P(v_j | v_i) = #(v_i, v_j) / #(v_i)
+
+where ``#(v_i)`` is the occurrence frequency of the entity and
+``#(v_i, v_j)`` the co-occurrence frequency within documents.  Raw
+conditional probabilities at a node can sum past one (an entity
+co-occurring with many others), so the builder optionally rescales each
+node's out-weights to a configurable total — keeping the *relative*
+strengths, which is all the ranking uses, while making the graph a
+valid sub-stochastic transition structure.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+from repro.errors import CorpusError
+from repro.graph.digraph import WeightedDiGraph
+from repro.graph.normalize import normalize_out_weights
+from repro.qa.entities import EntityVocabulary
+
+
+def cooccurrence_counts(
+    entity_counts: Iterable[Mapping[str, int]],
+) -> tuple[Counter, Counter]:
+    """Occurrence and pairwise co-occurrence counts over documents.
+
+    Parameters
+    ----------
+    entity_counts:
+        One ``{entity: count}`` mapping per document (the extractor's
+        output).
+
+    Returns
+    -------
+    (occurrences, cooccurrences):
+        ``occurrences[v]`` sums the entity's counts over all documents;
+        ``cooccurrences[(u, v)]`` counts, for each ordered pair of
+        *distinct* entities sharing a document, ``min(#u, #v)`` in that
+        document — a standard co-occurrence strength that is symmetric
+        in the pair but becomes asymmetric after conditioning.
+    """
+    occurrences: Counter = Counter()
+    cooccurrences: Counter = Counter()
+    for counts in entity_counts:
+        items = [(e, c) for e, c in counts.items() if c > 0]
+        for entity, count in items:
+            occurrences[entity] += count
+        for i, (u, cu) in enumerate(items):
+            for v, cv in items[i + 1 :]:
+                strength = min(cu, cv)
+                cooccurrences[(u, v)] += strength
+                cooccurrences[(v, u)] += strength
+    return occurrences, cooccurrences
+
+
+def build_knowledge_graph(
+    documents: Mapping[str, str],
+    vocabulary: EntityVocabulary,
+    *,
+    min_cooccurrence: int = 1,
+    normalize: bool = True,
+    out_mass: float = 0.9,
+) -> WeightedDiGraph:
+    """Build the entity knowledge graph from HELP documents.
+
+    Parameters
+    ----------
+    documents:
+        ``doc_id -> text``.
+    vocabulary:
+        The entity extractor.
+    min_cooccurrence:
+        Drop edges whose co-occurrence count falls below this (noise
+        pruning).
+    normalize:
+        Rescale every node's out-weights to sum to ``out_mass``.  When
+        off, weights are the raw conditional probabilities of the paper
+        (whose sums may exceed one).
+    out_mass:
+        Per-node out-weight total when normalizing; below 1 leaves
+        walk-termination mass so augmented similarity series behave.
+
+    Returns
+    -------
+    WeightedDiGraph
+        Nodes are canonical entity names; an edge ``u -> v`` means the
+        entities co-occur, weighted by (rescaled) ``P(v | u)``.
+    """
+    if min_cooccurrence < 1:
+        raise CorpusError(f"min_cooccurrence must be ≥ 1, got {min_cooccurrence}")
+    extracted = [vocabulary.extract(text) for text in documents.values()]
+    occurrences, cooccurrences = cooccurrence_counts(extracted)
+
+    graph = WeightedDiGraph(strict=False)
+    for entity in occurrences:
+        graph.add_node(entity)
+    for (head, tail), count in cooccurrences.items():
+        if count < min_cooccurrence:
+            continue
+        weight = count / occurrences[head]
+        if weight > 0:
+            graph.add_edge(head, tail, weight)
+    if normalize:
+        normalize_out_weights(graph, target=out_mass)
+    return graph

@@ -1,0 +1,251 @@
+"""The interactive Q&A framework (Fig. 1's loop, end to end).
+
+:class:`QASystem` wires the substrates into the workflow the paper
+describes: documents are attached as answer nodes; a question is
+attached as a query node and answered with a ranked top-k list; the
+user's vote (explicit, or implicit as in the e-commerce/click examples
+of Section I) is recorded; accumulated votes are turned into an edge
+weight optimization with any of the three solution strategies; and the
+improved graph immediately serves the next question.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import CorpusError, EvaluationError, VoteError
+from repro.eval.harness import EvaluationResult, evaluate_test_set
+from repro.graph.augmented import AugmentedGraph
+from repro.graph.digraph import WeightedDiGraph
+from repro.optimize.multi_vote import MultiVoteReport, solve_multi_vote
+from repro.optimize.single_vote import SingleVoteReport, solve_single_votes
+from repro.optimize.split_merge import SplitMergeReport, solve_split_merge
+from repro.qa.entities import EntityVocabulary
+from repro.similarity.top_k import rank_answers
+from repro.votes.types import Vote, VoteSet
+
+
+class QASystem:
+    """A knowledge-graph Q&A system with voting-based optimization.
+
+    Parameters
+    ----------
+    kg:
+        The entity knowledge graph (e.g. from
+        :func:`repro.qa.kg_builder.build_knowledge_graph`).
+    vocabulary:
+        Entity extractor used to link questions/documents to the graph.
+    k:
+        Length of returned answer lists (paper default 20).
+    max_length, restart_prob:
+        Similarity-evaluation parameters (``L`` and ``c``).
+    """
+
+    def __init__(
+        self,
+        kg: WeightedDiGraph,
+        vocabulary: EntityVocabulary,
+        *,
+        k: int = 20,
+        max_length: int = 5,
+        restart_prob: float = 0.15,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be ≥ 1, got {k}")
+        self._aug = AugmentedGraph(kg)
+        self._vocabulary = vocabulary
+        self.k = k
+        self.max_length = max_length
+        self.restart_prob = restart_prob
+        self._shown: dict[str, tuple[str, ...]] = {}
+        self._votes = VoteSet()
+        self._question_counter = 0
+
+    # ------------------------------------------------------------------
+    # corpus attachment
+    # ------------------------------------------------------------------
+    def add_document(self, doc_id: str, text: str) -> bool:
+        """Attach a HELP document as an answer node.
+
+        Returns ``False`` (and attaches nothing) when the document
+        mentions no known entity — it could never be reached by a
+        random walk anyway.
+        """
+        counts = self._vocabulary.extract(text)
+        counts = {e: c for e, c in counts.items() if self._aug.is_entity(e)}
+        if not counts:
+            return False
+        self._aug.add_answer(doc_id, counts)
+        return True
+
+    def add_documents(self, documents: Mapping[str, str]) -> list[str]:
+        """Attach many documents; returns the ids actually attached."""
+        attached = []
+        for doc_id, text in documents.items():
+            if self.add_document(doc_id, text):
+                attached.append(doc_id)
+        return attached
+
+    # ------------------------------------------------------------------
+    # the ask / vote loop
+    # ------------------------------------------------------------------
+    def ask(self, question: str, *, question_id: "str | None" = None) -> list[tuple[str, float]]:
+        """Answer a question with a ranked top-k document list.
+
+        The question is linked to the graph through its extracted
+        entities and the shown list is remembered so a later
+        :meth:`vote` can reference it.
+
+        Raises
+        ------
+        CorpusError
+            When the question mentions no entity known to the graph.
+        """
+        if question_id is None:
+            question_id = f"__q{self._question_counter}"
+            self._question_counter += 1
+        counts = self._vocabulary.extract(question)
+        counts = {e: c for e, c in counts.items() if self._aug.is_entity(e)}
+        if not counts:
+            raise CorpusError(
+                f"question {question!r} mentions no entity known to the graph"
+            )
+        if question_id in self._aug.query_nodes:
+            self._aug.remove_query(question_id)
+        self._aug.add_query(question_id, counts)
+        ranked = rank_answers(
+            self._aug,
+            question_id,
+            k=self.k,
+            max_length=self.max_length,
+            restart_prob=self.restart_prob,
+        )
+        self._shown[question_id] = tuple(answer for answer, _ in ranked)
+        return [(str(answer), score) for answer, score in ranked]
+
+    def vote(self, question_id: str, best_doc: str) -> Vote:
+        """Record the user's vote for ``question_id``'s best document.
+
+        The vote is positive when ``best_doc`` was already on top of the
+        shown list, negative otherwise (Definition 2).
+        """
+        shown = self._shown.get(question_id)
+        if shown is None:
+            raise VoteError(
+                f"no answer list was shown for question {question_id!r}"
+            )
+        if best_doc not in shown:
+            raise VoteError(
+                f"{best_doc!r} was not among the answers shown for "
+                f"{question_id!r}"
+            )
+        vote = Vote(query=question_id, ranked_answers=shown, best_answer=best_doc)
+        self._votes.add(vote)
+        return vote
+
+    @property
+    def pending_votes(self) -> VoteSet:
+        """Votes collected since the last :meth:`optimize`."""
+        return self._votes
+
+    # ------------------------------------------------------------------
+    # optimization
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        *,
+        strategy: str = "multi",
+        clear_votes: bool = True,
+        **options,
+    ) -> "MultiVoteReport | SingleVoteReport | SplitMergeReport":
+        """Optimize the graph against the pending votes.
+
+        Parameters
+        ----------
+        strategy:
+            ``"multi"`` (Section V), ``"single"`` (Algorithm 1), or
+            ``"split-merge"`` (Section VI).
+        clear_votes:
+            Drop the pending votes after applying them (they are spent).
+        options:
+            Forwarded to the chosen driver (``lambda1``, ``sigmoid_w``,
+            ``solver_method``, ``num_workers``, ...).
+        """
+        if not len(self._votes):
+            raise VoteError("no pending votes to optimize against")
+        options.setdefault("max_length", self.max_length)
+        options.setdefault("restart_prob", self.restart_prob)
+        if strategy == "multi":
+            _, report = solve_multi_vote(
+                self._aug, self._votes, in_place=True, **options
+            )
+        elif strategy == "single":
+            _, report = solve_single_votes(
+                self._aug, self._votes, in_place=True, **options
+            )
+        elif strategy == "split-merge":
+            _, report = solve_split_merge(
+                self._aug, self._votes, in_place=True, **options
+            )
+        else:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected 'multi', 'single', "
+                f"or 'split-merge'"
+            )
+        if clear_votes:
+            self._votes = VoteSet()
+        return report
+
+    # ------------------------------------------------------------------
+    # evaluation & access
+    # ------------------------------------------------------------------
+    @property
+    def augmented_graph(self) -> AugmentedGraph:
+        """The live augmented graph (entities + questions + documents)."""
+        return self._aug
+
+    def evaluate(
+        self,
+        test_questions: Mapping[str, str],
+        test_pairs: Mapping[str, str],
+        *,
+        k_values: Sequence[int] = (1, 3, 5, 10),
+    ) -> EvaluationResult:
+        """Evaluate ranking quality on held-out question–document pairs.
+
+        Parameters
+        ----------
+        test_questions:
+            ``question_id -> question text``; attached temporarily.
+        test_pairs:
+            ``question_id -> ground-truth best document id``.
+        """
+        attached: list[str] = []
+        pairs: dict[str, str] = {}
+        try:
+            for question_id, text in test_questions.items():
+                counts = self._vocabulary.extract(text)
+                counts = {
+                    e: c for e, c in counts.items() if self._aug.is_entity(e)
+                }
+                if not counts or question_id not in test_pairs:
+                    continue
+                if test_pairs[question_id] not in self._aug.answer_nodes:
+                    continue
+                self._aug.add_query(question_id, counts)
+                attached.append(question_id)
+                pairs[question_id] = test_pairs[question_id]
+            if not pairs:
+                raise EvaluationError(
+                    "no test question could be linked to the graph"
+                )
+            return evaluate_test_set(
+                self._aug,
+                pairs,
+                k_values=k_values,
+                max_length=self.max_length,
+                restart_prob=self.restart_prob,
+            )
+        finally:
+            for question_id in attached:
+                self._aug.remove_query(question_id)

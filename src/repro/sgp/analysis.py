@@ -1,0 +1,83 @@
+"""Diagnostics for SGP programs.
+
+The dominant cost of the framework is the SGP solve, and its difficulty
+is determined by measurable program structure: variable count, number
+of constraints, walk terms per constraint (which grows as ``O(d^L)``),
+and the maximum monomial degree (the longest walk's edge-repetition
+count).  :func:`analyze_program` extracts those numbers so experiments
+can report *why* a configuration is slow — e.g. Fig. 7(b)'s blow-up is
+a term-count blow-up, which the analysis makes visible before any
+solver runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sgp.problem import SGPProblem
+
+
+@dataclass(frozen=True)
+class ProgramStats:
+    """Structural statistics of one SGP program."""
+
+    num_vars: int
+    num_constraints: int
+    total_terms: int
+    max_terms_per_constraint: int
+    mean_terms_per_constraint: float
+    max_degree: float
+    num_posynomial_constraints: int
+    variables_used: int
+
+    def as_row(self) -> list:
+        """Cells for a text-table rendering."""
+        return [
+            self.num_vars,
+            self.num_constraints,
+            self.total_terms,
+            self.max_terms_per_constraint,
+            f"{self.mean_terms_per_constraint:.1f}",
+            f"{self.max_degree:g}",
+            self.num_posynomial_constraints,
+            self.variables_used,
+        ]
+
+
+def analyze_program(problem: SGPProblem) -> ProgramStats:
+    """Compute :class:`ProgramStats` for ``problem`` (no solving involved)."""
+    term_counts = []
+    max_degree = 0.0
+    posynomial = 0
+    used: set[int] = set()
+    for constraint in problem.constraints:
+        signomial = constraint.signomial
+        term_counts.append(signomial.num_terms)
+        max_degree = max(max_degree, signomial.max_degree())
+        posynomial += signomial.is_posynomial()
+        used.update(signomial.variables())
+    total = int(np.sum(term_counts)) if term_counts else 0
+    return ProgramStats(
+        num_vars=problem.num_vars,
+        num_constraints=problem.num_constraints,
+        total_terms=total,
+        max_terms_per_constraint=max(term_counts) if term_counts else 0,
+        mean_terms_per_constraint=(total / len(term_counts)) if term_counts else 0.0,
+        max_degree=max_degree,
+        num_posynomial_constraints=posynomial,
+        variables_used=len(used),
+    )
+
+
+def estimated_constraint_cost(avg_degree: float, max_length: int, k: int) -> float:
+    """The paper's encoding-cost estimate ``O(k · d^L)`` per vote.
+
+    A planning helper: compare against
+    :attr:`ProgramStats.total_terms` to see how much path pruning and
+    edge sharing reduce the worst case in practice.
+    """
+    if avg_degree < 0 or max_length < 1 or k < 1:
+        raise ValueError("need avg_degree ≥ 0, max_length ≥ 1, k ≥ 1")
+    return float(k * avg_degree**max_length)

@@ -1,0 +1,93 @@
+"""Ranked top-k answer lists.
+
+Given a query node, the Q&A framework returns the top-k answers ordered
+by similarity (Definition 1).  Ties are broken deterministically by the
+answers' string representation so that experiments are reproducible
+run-to-run — ties are common on synthetic graphs where several answers
+can be exactly symmetric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import EvaluationError
+from repro.graph.augmented import AugmentedGraph
+from repro.graph.digraph import Node
+from repro.similarity.inverse_pdistance import (
+    DEFAULT_MAX_LENGTH,
+    DEFAULT_RESTART_PROB,
+    inverse_pdistance,
+)
+
+
+def rank_answers(
+    aug: AugmentedGraph,
+    query: Node,
+    *,
+    k: int = 20,
+    answers: "Iterable[Node] | None" = None,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    restart_prob: float = DEFAULT_RESTART_PROB,
+) -> list[tuple[Node, float]]:
+    """Return the top-k ``(answer, similarity)`` pairs for ``query``.
+
+    Parameters
+    ----------
+    aug:
+        The augmented graph.
+    query:
+        A query node of ``aug``.
+    k:
+        List length (the paper's default top-k is 20).
+    answers:
+        Candidate answers; defaults to every answer node in the graph.
+    max_length, restart_prob:
+        Passed to the extended-inverse-P-distance evaluator.
+
+    Notes
+    -----
+    Scores are sorted descending; exact ties are ordered by ``repr`` of
+    the answer id, which is stable across runs and platforms.
+    """
+    if k < 1:
+        raise ValueError(f"k must be at least 1, got {k}")
+    if not aug.is_query(query):
+        raise EvaluationError(f"{query!r} is not a query node of the augmented graph")
+    candidates = list(answers) if answers is not None else sorted(
+        aug.answer_nodes, key=repr
+    )
+    if not candidates:
+        raise EvaluationError("no candidate answers to rank")
+    scores = inverse_pdistance(
+        aug.graph,
+        query,
+        candidates,
+        max_length=max_length,
+        restart_prob=restart_prob,
+    )
+    ordered = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
+    return ordered[:k]
+
+
+def rank_position(
+    ranked: Sequence[tuple[Node, float]] | Sequence[Node],
+    answer: Node,
+) -> int:
+    """1-based position of ``answer`` in a ranked list.
+
+    Accepts either ``(answer, score)`` pairs (as returned by
+    :func:`rank_answers`) or a bare answer sequence.  Raises
+    :class:`EvaluationError` when the answer is absent, because a silent
+    sentinel would corrupt the rank-difference metric Ω (Definition 3).
+    """
+    for position, item in enumerate(ranked, start=1):
+        candidate = item[0] if isinstance(item, tuple) else item
+        if candidate == answer:
+            return position
+    raise EvaluationError(f"answer {answer!r} is not in the ranked list")
+
+
+def scores_to_ranked_list(scores: Mapping[Node, float]) -> list[tuple[Node, float]]:
+    """Sort a ``{answer: score}`` mapping into a deterministic ranked list."""
+    return sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))

@@ -1,0 +1,21 @@
+"""Small shared utilities: RNG handling, timers, text tables, validation."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, timed
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "timed",
+    "format_table",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+]

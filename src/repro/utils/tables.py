@@ -1,0 +1,72 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints every reproduced table/figure as an aligned
+text table so the output can be diffed against the paper's numbers.  No
+third-party dependency (tabulate etc.) is available offline, so this is a
+small self-contained renderer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _render_cell(value: object, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = ".4g",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned, pipe-separated table.
+
+    Parameters
+    ----------
+    headers:
+        Column names; every row must have the same number of cells.
+    rows:
+        Iterable of row sequences.  Floats are formatted with ``float_fmt``.
+    title:
+        Optional caption printed above the table.
+    float_fmt:
+        ``format()`` spec applied to float cells (default ``.4g``).
+
+    Returns
+    -------
+    str
+        A multi-line string; rows are separated by newlines and the header
+        is underlined with dashes.
+    """
+    header_cells = [str(h) for h in headers]
+    body = []
+    for row in rows:
+        cells = [_render_cell(v, float_fmt) for v in row]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row {cells!r} has {len(cells)} cells, expected {len(header_cells)}"
+            )
+        body.append(cells)
+
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(header_cells))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(cells) for cells in body)
+    return "\n".join(parts)

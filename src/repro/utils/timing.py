@@ -1,0 +1,60 @@
+"""Wall-clock measurement helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    A single stopwatch can be started and stopped repeatedly; ``elapsed``
+    is the total time across all completed intervals.  The experiment
+    harness uses one stopwatch per pipeline stage so that stage costs can
+    be reported separately (encode time vs. solver time, for example).
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        """Begin (or resume) timing.  Starting twice is an error."""
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and return the total elapsed seconds so far."""
+        if self._started_at is None:
+            raise RuntimeError("stopwatch is not running")
+        self.elapsed += time.perf_counter() - self._started_at
+        self._started_at = None
+        return self.elapsed
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently timing an interval."""
+        return self._started_at is not None
+
+    def reset(self) -> None:
+        """Zero the accumulated time; a running interval is discarded."""
+        self.elapsed = 0.0
+        self._started_at = None
+
+
+@contextmanager
+def timed(store: dict, key: str):
+    """Context manager that records the block's duration into ``store[key]``.
+
+    Durations for repeated keys accumulate, which matches how the paper
+    reports "elapsed time" for a whole batch of solver calls.
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        store[key] = store.get(key, 0.0) + (time.perf_counter() - start)

@@ -1,0 +1,36 @@
+"""Argument validation helpers.
+
+These raise ``ValueError`` with a message that names the offending
+argument, so call sites stay one line long and error messages stay
+uniform across the package.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value`` to be a finite number strictly greater than zero."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Require ``value`` to be a probability in the closed interval [0, 1]."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``value`` to lie strictly inside (0, 1).
+
+    Used for restart probabilities and weight bounds, which degenerate at
+    either endpoint (a restart probability of 0 never terminates the walk
+    sum; 1 never leaves the query node).
+    """
+    if not math.isfinite(value) or not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must be strictly between 0 and 1, got {value!r}")
+    return value

@@ -1,0 +1,32 @@
+"""The vote model: vote types, synthetic generation, feasibility filtering.
+
+Definition 2 of the paper: each answered query may receive one vote.  A
+*negative* vote names a best answer that did not rank first; a
+*positive* vote confirms the top-ranked answer.  The optimizer consumes
+:class:`~repro.votes.types.VoteSet` objects; the efficiency experiments
+generate them synthetically (:mod:`repro.votes.simulate`); the
+multi-vote solution pre-filters unsatisfiable votes with the
+extreme-condition judgment (:mod:`repro.votes.feasibility`).
+"""
+
+from repro.votes.types import Vote, VoteSet
+from repro.votes.simulate import (
+    generate_synthetic_votes,
+    generate_votes_from_oracle,
+    GroundTruthOracle,
+)
+from repro.votes.feasibility import filter_feasible, is_vote_feasible
+from repro.votes.stream import ConflictPolicy, CountPolicy, NegativeCountPolicy
+
+__all__ = [
+    "Vote",
+    "VoteSet",
+    "generate_synthetic_votes",
+    "generate_votes_from_oracle",
+    "GroundTruthOracle",
+    "filter_feasible",
+    "is_vote_feasible",
+    "CountPolicy",
+    "NegativeCountPolicy",
+    "ConflictPolicy",
+]

@@ -1,0 +1,187 @@
+"""Synthetic vote generation.
+
+Two generators, matching the two ways the paper obtains votes:
+
+- :func:`generate_synthetic_votes` reproduces the protocol of Section
+  VII-A1 ("Knowledge Graph with Synthetic Votes"): rank the answers for
+  each query, then pick a best answer at a controlled position — the
+  average position of negative votes' best answers is the paper's
+  ``N_aveN`` parameter (default 10), and positives confirm the top
+  answer.  These votes need not be *satisfiable*; they exercise the
+  efficiency experiments.
+- :func:`generate_votes_from_oracle` models real users (the Taobao user
+  study): an oracle — typically rankings under a hidden ground-truth
+  graph — knows the genuinely best answer; users report it, with an
+  optional error rate under which they vote for a random other answer.
+  These votes drive the effectiveness experiments, where optimizing the
+  corrupted graph against the votes should recover the ground truth's
+  rankings.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import VoteError
+from repro.graph.augmented import AugmentedGraph
+from repro.graph.digraph import Node
+from repro.similarity.inverse_pdistance import (
+    DEFAULT_MAX_LENGTH,
+    DEFAULT_RESTART_PROB,
+)
+from repro.similarity.top_k import rank_answers
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_probability
+from repro.votes.types import Vote, VoteSet
+
+
+def generate_synthetic_votes(
+    aug: AugmentedGraph,
+    queries: "Sequence[Node] | None" = None,
+    *,
+    k: int = 20,
+    negative_fraction: float = 0.5,
+    avg_negative_position: int = 10,
+    seed: "int | None | np.random.Generator" = None,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    restart_prob: float = DEFAULT_RESTART_PROB,
+) -> VoteSet:
+    """Generate votes by the paper's synthetic protocol (Section VII-A1).
+
+    Parameters
+    ----------
+    aug:
+        The augmented graph (queries and answers already attached).
+    queries:
+        Query nodes to vote on; all queries in the graph by default.
+    k:
+        Top-k list length shown to the "user" (paper default 20).
+    negative_fraction:
+        Probability that a query's vote is negative.
+    avg_negative_position:
+        ``N_aveN``: expected rank of the best answer in negative votes
+        (paper default 10).  Positions are drawn uniformly from
+        ``[2, 2·N_aveN − 2]`` clipped to the list length, whose mean is
+        ``N_aveN`` when the list is long enough.
+    seed, max_length, restart_prob:
+        Reproducibility and similarity-evaluation parameters.
+
+    Notes
+    -----
+    Queries whose candidate list has fewer than two answers cannot carry
+    a negative vote; they fall back to a positive one.
+    """
+    check_probability("negative_fraction", negative_fraction)
+    if avg_negative_position < 2:
+        raise VoteError(
+            f"avg_negative_position must be at least 2, got {avg_negative_position}"
+        )
+    rng = ensure_rng(seed)
+    query_list = (
+        list(queries) if queries is not None else sorted(aug.query_nodes, key=repr)
+    )
+    votes = VoteSet()
+    for query in query_list:
+        ranked = rank_answers(
+            aug, query, k=k, max_length=max_length, restart_prob=restart_prob
+        )
+        answers = tuple(answer for answer, _ in ranked)
+        make_negative = (
+            len(answers) >= 2 and rng.uniform() < negative_fraction
+        )
+        if make_negative:
+            high = min(len(answers), max(2, 2 * avg_negative_position - 2))
+            position = int(rng.integers(2, high + 1))
+            best = answers[position - 1]
+        else:
+            best = answers[0]
+        votes.add(Vote(query=query, ranked_answers=answers, best_answer=best))
+    return votes
+
+
+class GroundTruthOracle:
+    """Answers "which answer is truly best?" from a hidden reference graph.
+
+    The effectiveness experiments corrupt a ground-truth graph and then
+    check whether vote-driven optimization recovers its rankings.  The
+    oracle plays the user: asked about a query, it ranks the candidate
+    answers under the *reference* graph and reports the top one.
+    """
+
+    def __init__(
+        self,
+        reference: AugmentedGraph,
+        *,
+        max_length: int = DEFAULT_MAX_LENGTH,
+        restart_prob: float = DEFAULT_RESTART_PROB,
+    ) -> None:
+        self._reference = reference
+        self._max_length = max_length
+        self._restart_prob = restart_prob
+
+    def best_answer(self, query: Node, candidates: Sequence[Node]) -> Node:
+        """The truly best answer among ``candidates`` for ``query``."""
+        ranked = rank_answers(
+            self._reference,
+            query,
+            k=len(candidates),
+            answers=candidates,
+            max_length=self._max_length,
+            restart_prob=self._restart_prob,
+        )
+        return ranked[0][0]
+
+    def __call__(self, query: Node, candidates: Sequence[Node]) -> Node:
+        return self.best_answer(query, candidates)
+
+
+def generate_votes_from_oracle(
+    aug: AugmentedGraph,
+    oracle,
+    queries: "Iterable[Node] | None" = None,
+    *,
+    k: int = 20,
+    error_rate: float = 0.0,
+    seed: "int | None | np.random.Generator" = None,
+    max_length: int = DEFAULT_MAX_LENGTH,
+    restart_prob: float = DEFAULT_RESTART_PROB,
+) -> VoteSet:
+    """Generate votes from simulated users consulting an oracle.
+
+    For each query the current graph produces a top-k list; the user
+    votes for ``oracle(query, shown_answers)``, except with probability
+    ``error_rate`` they vote for a uniformly random *other* shown answer
+    (the erroneous votes Section V's feasibility filter exists for).
+
+    Parameters
+    ----------
+    oracle:
+        Callable ``(query, candidates) -> best answer``; see
+        :class:`GroundTruthOracle`.
+    error_rate:
+        Probability of a corrupted vote.
+    """
+    check_probability("error_rate", error_rate)
+    rng = ensure_rng(seed)
+    query_list = (
+        list(queries) if queries is not None else sorted(aug.query_nodes, key=repr)
+    )
+    votes = VoteSet()
+    for query in query_list:
+        ranked = rank_answers(
+            aug, query, k=k, max_length=max_length, restart_prob=restart_prob
+        )
+        answers = tuple(answer for answer, _ in ranked)
+        best = oracle(query, answers)
+        if best not in answers:
+            raise VoteError(
+                f"oracle returned {best!r}, which is not among the shown "
+                f"answers for query {query!r}"
+            )
+        if error_rate and len(answers) > 1 and rng.uniform() < error_rate:
+            wrong = [a for a in answers if a != best]
+            best = wrong[int(rng.integers(0, len(wrong)))]
+        votes.add(Vote(query=query, ranked_answers=answers, best_answer=best))
+    return votes

@@ -1,0 +1,92 @@
+"""Online vote streams and batching policies.
+
+The paper's framework is interactive: votes arrive one at a time as
+users ask questions, but the multi-vote solution wants *batches* (one
+SGP over many votes handles conflicts that greedy per-vote processing
+cannot).  A deployment therefore needs a policy for *when* to trigger
+optimization.  This module provides the batching layer:
+
+- :class:`CountPolicy` — optimize every N votes (the simplest
+  production setting);
+- :class:`NegativeCountPolicy` — optimize after N *negative* votes
+  (positive votes alone never change the optimum ranking, so they can
+  accumulate freely);
+- :class:`ConflictPolicy` — optimize as soon as two votes disagree
+  about the same query (the situation the multi-vote machinery exists
+  for), with a count-based fallback.
+
+:class:`repro.optimize.online.OnlineOptimizer` consumes these.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import VoteError
+from repro.votes.types import Vote
+
+
+class CountPolicy:
+    """Trigger after every ``batch_size`` votes."""
+
+    def __init__(self, batch_size: int = 10) -> None:
+        if batch_size < 1:
+            raise VoteError(f"batch_size must be ≥ 1, got {batch_size}")
+        self.batch_size = batch_size
+
+    def should_optimize(self, pending: "Iterable[Vote]") -> bool:
+        """Whether the pending votes warrant an optimization pass."""
+        return sum(1 for _ in pending) >= self.batch_size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CountPolicy(batch_size={self.batch_size})"
+
+
+class NegativeCountPolicy:
+    """Trigger after ``negative_votes`` negative votes.
+
+    Positive votes keep accumulating without triggering: they only
+    matter as *constraints alongside* negative votes, never as the
+    reason to change the graph.
+    """
+
+    def __init__(self, negative_votes: int = 5) -> None:
+        if negative_votes < 1:
+            raise VoteError(f"negative_votes must be ≥ 1, got {negative_votes}")
+        self.negative_votes = negative_votes
+
+    def should_optimize(self, pending: "Iterable[Vote]") -> bool:
+        """Whether enough negative feedback has accumulated."""
+        return sum(1 for v in pending if v.is_negative) >= self.negative_votes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NegativeCountPolicy(negative_votes={self.negative_votes})"
+
+
+class ConflictPolicy:
+    """Trigger on the first intra-query conflict, else after ``max_pending``.
+
+    Two votes conflict when they name different best answers for the
+    same query.  Conflicts are exactly what the deviation-variable
+    machinery arbitrates, and arbitrating them early keeps the graph
+    from oscillating under greedy updates.
+    """
+
+    def __init__(self, max_pending: int = 25) -> None:
+        if max_pending < 1:
+            raise VoteError(f"max_pending must be ≥ 1, got {max_pending}")
+        self.max_pending = max_pending
+
+    def should_optimize(self, pending: "Iterable[Vote]") -> bool:
+        """Whether a conflict exists or the backlog is too large."""
+        best_by_query: dict = {}
+        count = 0
+        for vote in pending:
+            count += 1
+            seen = best_by_query.setdefault(vote.query, vote.best_answer)
+            if seen != vote.best_answer:
+                return True
+        return count >= self.max_pending
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ConflictPolicy(max_pending={self.max_pending})"

@@ -1,0 +1,168 @@
+"""Vote data types (Definition 2 of the paper)."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import VoteError
+from repro.graph.digraph import Node
+
+
+@dataclass(frozen=True)
+class Vote:
+    """One user vote on the ranked answer list of one query.
+
+    Attributes
+    ----------
+    query:
+        The query node the vote concerns.
+    ranked_answers:
+        The top-k answer list *as shown to the user* (rank order, best
+        first).  The SGP encoder builds one constraint per non-best
+        answer in this list, so the list captures the context in which
+        the vote was cast.
+    best_answer:
+        The answer the user voted best.  Must be in ``ranked_answers``.
+    weight:
+        Trustworthiness of the vote (default 1).  The paper's intro
+        notes that Q&A sites aggregate up/down-vote *counts* as a
+        trustworthiness signal; this field carries that signal into the
+        optimization: a vote of weight ``w`` scales its sigmoid
+        violation penalty (Eq. 18) and its say in the split-and-merge
+        voting rule by ``w``.
+
+    A vote is *positive* when the best answer already ranks first and
+    *negative* otherwise (Definition 2).
+    """
+
+    query: Node
+    ranked_answers: tuple[Node, ...]
+    best_answer: Node
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        answers = tuple(self.ranked_answers)
+        object.__setattr__(self, "ranked_answers", answers)
+        if len(answers) < 1:
+            raise VoteError(f"vote on {self.query!r}: empty answer list")
+        if len(set(answers)) != len(answers):
+            raise VoteError(f"vote on {self.query!r}: duplicate answers in the list")
+        if self.best_answer not in answers:
+            raise VoteError(
+                f"vote on {self.query!r}: best answer {self.best_answer!r} "
+                f"is not in the ranked list"
+            )
+        if not math.isfinite(self.weight) or self.weight <= 0:
+            raise VoteError(
+                f"vote on {self.query!r}: weight must be finite and > 0, "
+                f"got {self.weight!r}"
+            )
+
+    @property
+    def is_positive(self) -> bool:
+        """Whether the voted-best answer already ranks first."""
+        return self.ranked_answers[0] == self.best_answer
+
+    @property
+    def is_negative(self) -> bool:
+        """Whether the voted-best answer ranks below first."""
+        return not self.is_positive
+
+    @property
+    def best_rank(self) -> int:
+        """1-based rank of the best answer in the shown list (``rank_t``)."""
+        return self.ranked_answers.index(self.best_answer) + 1
+
+    @property
+    def k(self) -> int:
+        """Length of the shown answer list."""
+        return len(self.ranked_answers)
+
+    def others(self) -> tuple[Node, ...]:
+        """Every shown answer except the voted-best one.
+
+        These are the right-hand sides of the vote's constraints
+        (Eq. 10/13: the best answer must beat each of them).
+        """
+        return tuple(a for a in self.ranked_answers if a != self.best_answer)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "+" if self.is_positive else "-"
+        return (
+            f"Vote({kind}, query={self.query!r}, best={self.best_answer!r}, "
+            f"rank={self.best_rank}/{self.k})"
+        )
+
+
+@dataclass
+class VoteSet:
+    """A collection of votes with negative/positive views.
+
+    The paper manipulates ``T⁻`` (negative set) and ``T⁺`` (positive
+    set) separately; this container keeps them together (preserving
+    arrival order, which the greedy single-vote solution depends on) and
+    exposes both views.
+    """
+
+    votes: list[Vote] = field(default_factory=list)
+
+    @classmethod
+    def from_iterable(cls, votes: Iterable[Vote]) -> "VoteSet":
+        """Build from any iterable of votes."""
+        return cls(list(votes))
+
+    def add(self, vote: Vote) -> None:
+        """Append a vote."""
+        if not isinstance(vote, Vote):
+            raise VoteError(f"expected a Vote, got {type(vote).__name__}")
+        self.votes.append(vote)
+
+    @property
+    def negative(self) -> list[Vote]:
+        """``T⁻`` — the negative votes, in arrival order."""
+        return [v for v in self.votes if v.is_negative]
+
+    @property
+    def positive(self) -> list[Vote]:
+        """``T⁺`` — the positive votes, in arrival order."""
+        return [v for v in self.votes if v.is_positive]
+
+    @property
+    def num_negative(self) -> int:
+        """``|T⁻|``."""
+        return sum(1 for v in self.votes if v.is_negative)
+
+    @property
+    def num_positive(self) -> int:
+        """``|T⁺|``."""
+        return sum(1 for v in self.votes if v.is_positive)
+
+    def queries(self) -> list[Node]:
+        """The (possibly repeating) query nodes of the votes."""
+        return [v.query for v in self.votes]
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of the votes' trust weights (``n_C`` in the merge rule)."""
+        return float(sum(v.weight for v in self.votes))
+
+    def subset(self, indices: Sequence[int]) -> "VoteSet":
+        """A new VoteSet holding ``votes[i]`` for each index (split step)."""
+        return VoteSet([self.votes[i] for i in indices])
+
+    def __iter__(self) -> Iterator[Vote]:
+        return iter(self.votes)
+
+    def __len__(self) -> int:
+        return len(self.votes)
+
+    def __getitem__(self, index: int) -> Vote:
+        return self.votes[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<VoteSet n={len(self.votes)} "
+            f"negative={self.num_negative} positive={self.num_positive}>"
+        )

@@ -1,0 +1,96 @@
+"""Unit tests for the evaluation harness and dataset registry."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.datasets import DATASETS, EFFICIENCY_DATASETS, dataset_table
+from repro.eval.harness import evaluate_test_set, rerank_vote, vote_omega_avg
+from repro.graph import AugmentedGraph, WeightedDiGraph
+from repro.votes import Vote, VoteSet
+
+
+@pytest.fixture
+def aug():
+    kg = WeightedDiGraph.from_edges(
+        [("x", "y", 0.6), ("x", "z", 0.3)], strict=False
+    )
+    graph = AugmentedGraph(kg)
+    graph.add_query("q", {"x": 1})
+    graph.add_answer("a1", {"y": 1})
+    graph.add_answer("a2", {"z": 1})
+    return graph
+
+
+class TestRerankVote:
+    def test_matches_current_weights(self, aug):
+        vote = Vote("q", ("a1", "a2"), "a2")
+        assert rerank_vote(aug, vote) == 2
+        # Flip the weights: a2's entity now dominates.
+        aug.set_kg_weight("x", "y", 0.1)
+        aug.set_kg_weight("x", "z", 0.8)
+        assert rerank_vote(aug, vote) == 1
+
+    def test_omega_avg_over_votes(self, aug):
+        votes = VoteSet(
+            [Vote("q", ("a1", "a2"), "a2"), Vote("q", ("a1", "a2"), "a1")]
+        )
+        # Unchanged graph: the negative vote stays at rank 2, Ω_avg = 0.
+        assert vote_omega_avg(aug, votes) == pytest.approx(0.0)
+        aug.set_kg_weight("x", "y", 0.1)
+        aug.set_kg_weight("x", "z", 0.8)
+        # Negative vote improves 2→1 (+1); positive degrades 1→2 (−1).
+        assert vote_omega_avg(aug, votes) == pytest.approx(0.0)
+
+    def test_omega_avg_empty_rejected(self, aug):
+        with pytest.raises(EvaluationError):
+            vote_omega_avg(aug, [])
+
+
+class TestEvaluateTestSet:
+    def test_metrics_computed(self, aug):
+        result = evaluate_test_set(aug, {"q": "a1"}, k_values=(1, 2))
+        assert result.ranks == [1]
+        assert result.r_avg == 1.0
+        assert result.mrr == 1.0
+        assert result.map_score == 1.0
+        assert result.hits == {1: 1.0, 2: 1.0}
+
+    def test_wrong_answer_ranks_second(self, aug):
+        result = evaluate_test_set(aug, {"q": "a2"}, k_values=(1, 2))
+        assert result.ranks == [2]
+        assert result.hits[1] == 0.0
+        assert result.hits[2] == 1.0
+
+    def test_empty_test_set_rejected(self, aug):
+        with pytest.raises(EvaluationError):
+            evaluate_test_set(aug, {})
+
+    def test_unknown_answer_rejected(self, aug):
+        with pytest.raises(EvaluationError):
+            evaluate_test_set(aug, {"q": "ghost"})
+
+    def test_as_row(self, aug):
+        result = evaluate_test_set(aug, {"q": "a1"}, k_values=(1, 2))
+        assert result.as_row((1, 2)) == [1.0, 1.0]
+
+
+class TestDatasets:
+    def test_registry_matches_table2(self):
+        assert DATASETS["taobao"].nodes == 1_663
+        assert DATASETS["taobao"].edges == 17_591
+        assert DATASETS["gnutella"].nodes == 62_586
+        assert DATASETS["twitter"].average_degree == pytest.approx(1.42, abs=0.01)
+        assert DATASETS["digg"].average_degree == pytest.approx(2.88, abs=0.01)
+
+    def test_efficiency_datasets_listed(self):
+        assert set(EFFICIENCY_DATASETS) == {"twitter", "digg", "gnutella"}
+
+    def test_loader_generates_scaled_graph(self):
+        graph = DATASETS["twitter"].load(scale=0.01, seed=1)
+        assert graph.num_nodes == round(23_370 * 0.01)
+
+    def test_dataset_table_rows(self):
+        rows = dataset_table()
+        assert len(rows) == len(DATASETS)
+        names = [row[0] for row in rows]
+        assert "Taobao" in names and "Gnutella" in names

@@ -1,0 +1,160 @@
+"""Unit + property tests for the evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    average_precision,
+    average_rank,
+    hits_at_k,
+    mean_average_precision,
+    mean_reciprocal_rank,
+    omega,
+    omega_avg,
+    percentage_difference,
+    rank_changes,
+    ranking_improvement,
+)
+
+
+class TestOmega:
+    def test_definition3(self):
+        # Best answers moved 2→1, 3→1, 1→2: Ω = 1 + 2 − 1 = 2.
+        assert omega([2, 3, 1], [1, 1, 2]) == 2
+
+    def test_omega_avg_eq21(self):
+        assert omega_avg([2, 3, 1], [1, 1, 2]) == pytest.approx(2 / 3)
+
+    def test_no_change_is_zero(self):
+        assert omega([5, 2], [5, 2]) == 0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(EvaluationError):
+            omega([1, 2], [1])
+
+    def test_invalid_ranks(self):
+        with pytest.raises(EvaluationError):
+            omega([0], [1])
+        with pytest.raises(EvaluationError):
+            omega([1.5], [1])
+
+    def test_empty_average_rejected(self):
+        with pytest.raises(EvaluationError):
+            omega_avg([], [])
+
+    def test_rank_changes(self):
+        assert rank_changes([4, 2], [1, 3]) == [3, -1]
+
+    @given(
+        before=st.lists(st.integers(min_value=1, max_value=50), min_size=1, max_size=20)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_omega_bounds(self, before):
+        """Promoting everything to rank 1 maximizes Ω at Σ(rank−1)."""
+        best_case = omega(before, [1] * len(before))
+        assert best_case == sum(r - 1 for r in before)
+        assert omega_avg(before, [1] * len(before)) == pytest.approx(
+            best_case / len(before)
+        )
+
+
+class TestImprovement:
+    def test_table4_style(self):
+        # 2→1 is +50 %; 4→5 is −25 %; mean = +12.5 %.
+        assert ranking_improvement([2, 4], [1, 5]) == pytest.approx(0.125)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            ranking_improvement([], [])
+
+
+class TestMRR:
+    def test_basic(self):
+        assert mean_reciprocal_rank([1, 2, 4]) == pytest.approx(
+            (1 + 0.5 + 0.25) / 3
+        )
+
+    def test_perfect(self):
+        assert mean_reciprocal_rank([1, 1, 1]) == 1.0
+
+    def test_bounds(self):
+        assert 0 < mean_reciprocal_rank([100]) <= 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            mean_reciprocal_rank([])
+
+
+class TestAveragePrecision:
+    def test_single_relevant_equals_reciprocal_rank(self):
+        ranked = ["a", "b", "c", "d"]
+        assert average_precision(ranked, {"c"}) == pytest.approx(1 / 3)
+
+    def test_multiple_relevant(self):
+        ranked = ["a", "b", "c", "d"]
+        # relevant at 1 and 3: AP = (1/1 + 2/3) / 2.
+        assert average_precision(ranked, {"a", "c"}) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+    def test_missing_relevant_scores_zero(self):
+        assert average_precision(["a", "b"], {"z"}) == 0.0
+
+    def test_empty_relevant_rejected(self):
+        with pytest.raises(EvaluationError):
+            average_precision(["a"], set())
+
+    def test_map(self):
+        lists = [["a", "b"], ["b", "a"]]
+        relevant = [{"a"}, {"a"}]
+        assert mean_average_precision(lists, relevant) == pytest.approx(
+            (1.0 + 0.5) / 2
+        )
+
+    def test_map_validates(self):
+        with pytest.raises(EvaluationError):
+            mean_average_precision([], [])
+        with pytest.raises(EvaluationError):
+            mean_average_precision([["a"]], [])
+
+
+class TestHitsAtK:
+    def test_table5_style(self):
+        ranks = [1, 2, 3, 7, 12]
+        assert hits_at_k(ranks, 1) == pytest.approx(0.2)
+        assert hits_at_k(ranks, 3) == pytest.approx(0.6)
+        assert hits_at_k(ranks, 10) == pytest.approx(0.8)
+
+    def test_monotone_in_k(self):
+        ranks = [1, 4, 9, 2, 6]
+        values = [hits_at_k(ranks, k) for k in (1, 3, 5, 10)]
+        assert values == sorted(values)
+
+    def test_invalid(self):
+        with pytest.raises(EvaluationError):
+            hits_at_k([], 3)
+        with pytest.raises(EvaluationError):
+            hits_at_k([1], 0)
+
+
+class TestPercentageDifference:
+    def test_eq22(self):
+        assert percentage_difference(2.0, 2.5) == pytest.approx(0.25)
+
+    def test_decreasing(self):
+        assert percentage_difference(2.0, 1.0) == pytest.approx(-0.5)
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(EvaluationError):
+            percentage_difference(0.0, 1.0)
+
+
+class TestAverageRank:
+    def test_basic(self):
+        assert average_rank([2, 4]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            average_rank([])

@@ -1,0 +1,88 @@
+"""Unit + property tests for significance testing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.significance import BootstrapResult, paired_bootstrap, sign_test
+
+
+class TestPairedBootstrap:
+    def test_clear_improvement_is_significant(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0.2, 0.5, size=60)
+        b = a + rng.uniform(0.1, 0.3, size=60)
+        result = paired_bootstrap(a, b, seed=1)
+        assert result.significant
+        assert result.p_value < 0.01
+        assert result.mean_difference > 0
+        assert result.wins == 60
+
+    def test_no_difference_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0.2, 0.8, size=60)
+        b = a + rng.normal(0, 0.001, size=60)  # pure noise
+        result = paired_bootstrap(a, b, seed=3)
+        assert not result.significant or result.p_value > 0.001
+
+    def test_degradation_yields_high_p(self):
+        a = np.linspace(0.5, 0.9, 40)
+        b = a - 0.2
+        result = paired_bootstrap(a, b, seed=4)
+        assert result.p_value > 0.95
+        assert result.losses == 40
+
+    def test_counts(self):
+        result = paired_bootstrap([0.1, 0.5, 0.5], [0.2, 0.4, 0.5], seed=0)
+        assert (result.wins, result.losses, result.ties) == (1, 1, 1)
+
+    def test_deterministic_with_seed(self):
+        a, b = [0.1, 0.2, 0.3], [0.2, 0.25, 0.35]
+        r1 = paired_bootstrap(a, b, seed=9)
+        r2 = paired_bootstrap(a, b, seed=9)
+        assert r1 == r2
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            paired_bootstrap([], [])
+        with pytest.raises(EvaluationError):
+            paired_bootstrap([0.1], [0.1, 0.2])
+        with pytest.raises(EvaluationError):
+            paired_bootstrap([0.1], [0.2], num_samples=0)
+
+    @given(
+        scores=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=30
+        )
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_p_value_in_unit_interval(self, scores):
+        result = paired_bootstrap(
+            scores, list(reversed(scores)), num_samples=200, seed=0
+        )
+        assert 0.0 <= result.p_value <= 1.0
+
+
+class TestSignTest:
+    def test_balanced_is_insignificant(self):
+        assert sign_test(5, 5) > 0.5
+
+    def test_lopsided_is_significant(self):
+        assert sign_test(19, 1) < 0.001
+
+    def test_exact_small_case(self):
+        # P(X >= 2) for X ~ Binomial(2, 0.5) = 0.25.
+        assert sign_test(2, 0) == pytest.approx(0.25)
+
+    def test_no_observations(self):
+        assert sign_test(0, 0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            sign_test(-1, 3)
+
+    def test_monotone_in_wins(self):
+        p_values = [sign_test(w, 10 - w) for w in range(11)]
+        assert p_values == sorted(p_values, reverse=True)

@@ -1,0 +1,163 @@
+"""Unit tests for query/answer augmentation."""
+
+import pytest
+
+from repro.errors import AugmentationError, NodeNotFoundError
+from repro.graph import AugmentedGraph, WeightedDiGraph
+from repro.graph.augmented import attach_queries_and_answers
+
+
+@pytest.fixture
+def kg():
+    return WeightedDiGraph.from_edges(
+        [
+            ("email", "outbox", 0.4),
+            ("email", "send", 0.5),
+            ("outbox", "send", 0.6),
+            ("send", "outlook", 0.3),
+            ("outlook", "email", 0.2),
+        ]
+    )
+
+
+@pytest.fixture
+def aug(kg):
+    graph = AugmentedGraph(kg)
+    graph.add_query("q1", {"email": 1, "outbox": 1, "send": 2})
+    graph.add_answer("a1", {"outlook": 3})
+    graph.add_answer("a2", {"send": 1, "outlook": 1})
+    return graph
+
+
+class TestRoles:
+    def test_entity_nodes(self, aug, kg):
+        assert aug.entity_nodes == frozenset(kg.nodes())
+
+    def test_query_and_answer_nodes(self, aug):
+        assert aug.query_nodes == frozenset({"q1"})
+        assert aug.answer_nodes == frozenset({"a1", "a2"})
+
+    def test_role_predicates(self, aug):
+        assert aug.is_entity("email")
+        assert aug.is_query("q1")
+        assert aug.is_answer("a1")
+        assert not aug.is_entity("q1")
+        assert not aug.is_query("a1")
+
+
+class TestAttachment:
+    def test_query_links_normalized(self, aug):
+        links = aug.query_links("q1")
+        assert links == pytest.approx({"email": 0.25, "outbox": 0.25, "send": 0.5})
+        assert sum(links.values()) == pytest.approx(1.0)
+
+    def test_answer_links_normalized_per_answer(self, aug):
+        assert aug.answer_links("a1") == pytest.approx({"outlook": 1.0})
+        assert aug.answer_links("a2") == pytest.approx({"send": 0.5, "outlook": 0.5})
+
+    def test_answers_are_sinks(self, aug):
+        assert aug.graph.out_degree("a1") == 0
+        assert aug.graph.out_degree("a2") == 0
+
+    def test_duplicate_id_rejected(self, aug):
+        with pytest.raises(AugmentationError):
+            aug.add_query("q1", {"email": 1})
+        with pytest.raises(AugmentationError):
+            aug.add_answer("email", {"send": 1})
+
+    def test_unknown_entity_rejected(self, aug):
+        with pytest.raises(AugmentationError):
+            aug.add_query("q2", {"ghost": 1})
+
+    def test_empty_counts_rejected(self, aug):
+        with pytest.raises(AugmentationError):
+            aug.add_query("q2", {})
+
+    def test_nonpositive_counts_rejected(self, aug):
+        with pytest.raises(AugmentationError):
+            aug.add_query("q2", {"email": 0})
+
+    def test_remove_query(self, aug):
+        aug.remove_query("q1")
+        assert "q1" not in aug.query_nodes
+        assert not aug.graph.has_node("q1")
+
+    def test_remove_answer(self, aug):
+        aug.remove_answer("a2")
+        assert not aug.graph.has_node("a2")
+        assert aug.graph.out_degree("send") == 1  # only the KG edge remains
+
+    def test_remove_missing_raises(self, aug):
+        with pytest.raises(NodeNotFoundError):
+            aug.remove_query("ghost")
+        with pytest.raises(NodeNotFoundError):
+            aug.remove_answer("q1")
+
+
+class TestKgEdgeAccess:
+    def test_is_kg_edge(self, aug):
+        assert aug.is_kg_edge("email", "outbox")
+        assert not aug.is_kg_edge("q1", "email")
+        assert not aug.is_kg_edge("send", "a2")
+        assert not aug.is_kg_edge("email", "send") or aug.graph.has_edge("email", "send")
+
+    def test_kg_edges_excludes_links(self, aug, kg):
+        kg_edges = {(e.head, e.tail) for e in aug.kg_edges()}
+        assert kg_edges == set(kg.edge_keys())
+
+    def test_set_kg_weight(self, aug):
+        aug.set_kg_weight("email", "outbox", 0.35)
+        assert aug.kg_weight("email", "outbox") == 0.35
+        assert aug.graph.weight("email", "outbox") == 0.35
+
+    def test_set_link_weight_rejected(self, aug):
+        with pytest.raises(AugmentationError):
+            aug.set_kg_weight("q1", "email", 0.5)
+        with pytest.raises(AugmentationError):
+            aug.set_kg_weight("send", "a2", 0.5)
+
+    def test_kg_view_is_detached(self, aug, kg):
+        view = aug.kg_view()
+        assert view.num_nodes == kg.num_nodes
+        assert view.num_edges == kg.num_edges
+        view.set_weight("email", "outbox", 0.01)
+        assert aug.kg_weight("email", "outbox") == 0.4
+
+    def test_original_kg_not_mutated(self, aug, kg):
+        aug.set_kg_weight("email", "outbox", 0.1)
+        assert kg.weight("email", "outbox") == 0.4
+
+
+class TestCopy:
+    def test_copy_independent(self, aug):
+        clone = aug.copy()
+        clone.set_kg_weight("email", "outbox", 0.05)
+        assert aug.kg_weight("email", "outbox") == 0.4
+        assert clone.query_nodes == aug.query_nodes
+
+
+class TestBulkAttach:
+    def test_attach_queries_and_answers(self, kg):
+        aug = attach_queries_and_answers(
+            kg,
+            queries={"q1": {"email": 1}},
+            answers={"a1": {"send": 2}},
+        )
+        assert aug.query_nodes == frozenset({"q1"})
+        assert aug.answer_nodes == frozenset({"a1"})
+
+    def test_skip_unlinkable(self, kg):
+        aug = attach_queries_and_answers(
+            kg,
+            queries={"q1": {"ghost": 1}, "q2": {"email": 1}},
+            answers={"a1": {"nothing": 5}},
+            skip_unlinkable=True,
+        )
+        assert aug.query_nodes == frozenset({"q2"})
+        assert aug.answer_nodes == frozenset()
+
+    def test_unlinkable_raises_without_skip(self, kg):
+        with pytest.raises(AugmentationError):
+            attach_queries_and_answers(
+                kg, queries={"q1": {"ghost": 1}}, answers={}
+            )

@@ -1,0 +1,160 @@
+"""Unit + property tests for graph generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import KONECT_STATS, WeightedDiGraph, helpdesk_graph, konect_like, random_digraph
+from repro.graph.generators import perturb_weights
+
+
+class TestRandomDigraph:
+    def test_node_and_edge_counts(self):
+        graph = random_digraph(200, 4.0, seed=1)
+        assert graph.num_nodes == 200
+        # Poisson(4) truncated to [1, n-1]: the mean degree is near 4.
+        assert 2.5 <= graph.average_degree() <= 5.5
+
+    def test_deterministic_for_seed(self):
+        g1 = random_digraph(50, 3.0, seed=42)
+        g2 = random_digraph(50, 3.0, seed=42)
+        assert {(e.head, e.tail, e.weight) for e in g1.edges()} == {
+            (e.head, e.tail, e.weight) for e in g2.edges()
+        }
+
+    def test_different_seeds_differ(self):
+        g1 = random_digraph(50, 3.0, seed=1)
+        g2 = random_digraph(50, 3.0, seed=2)
+        assert {(e.head, e.tail) for e in g1.edges()} != {
+            (e.head, e.tail) for e in g2.edges()
+        }
+
+    def test_out_mass_normalization(self):
+        graph = random_digraph(80, 3.0, seed=7, out_mass=0.8)
+        for node in graph.nodes():
+            if graph.out_degree(node):
+                assert graph.out_weight_sum(node) == pytest.approx(0.8)
+
+    def test_no_self_loops(self):
+        graph = random_digraph(60, 5.0, seed=3)
+        assert all(e.head != e.tail for e in graph.edges())
+
+    def test_single_node(self):
+        graph = random_digraph(1, 3.0, seed=0)
+        assert graph.num_nodes == 1
+        assert graph.num_edges == 0
+
+    @pytest.mark.parametrize("bad_n", [0, -5])
+    def test_bad_node_count(self, bad_n):
+        with pytest.raises(ValueError):
+            random_digraph(bad_n, 2.0)
+
+    def test_bad_out_mass(self):
+        with pytest.raises(ValueError):
+            random_digraph(10, 2.0, out_mass=1.5)
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        degree=st.floats(min_value=0.5, max_value=6.0),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_valid_transition_graph(self, n, degree, seed):
+        """Generated graphs always satisfy the probabilistic invariants."""
+        graph = random_digraph(n, degree, seed=seed)
+        for node in graph.nodes():
+            assert graph.out_weight_sum(node) <= 1.0 + 1e-9
+            for weight in graph.successors(node).values():
+                assert 0.0 < weight <= 1.0
+
+
+class TestKonectLike:
+    @pytest.mark.parametrize("name", sorted(KONECT_STATS))
+    def test_scaled_statistics(self, name):
+        graph = konect_like(name, seed=5, scale=0.02)
+        expected_nodes = max(2, round(KONECT_STATS[name]["nodes"] * 0.02))
+        assert graph.num_nodes == expected_nodes
+        # Degree is preserved in expectation (Poisson sampling adds noise).
+        target_degree = KONECT_STATS[name]["edges"] / KONECT_STATS[name]["nodes"]
+        assert graph.average_degree() == pytest.approx(target_degree, rel=0.5)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            konect_like("facebook")
+
+    def test_case_insensitive(self):
+        graph = konect_like("TWITTER", seed=1, scale=0.01)
+        assert graph.num_nodes > 0
+
+
+class TestHelpdeskGraph:
+    def test_topics_and_membership(self):
+        graph, topics = helpdesk_graph(num_topics=4, entities_per_topic=6, seed=11)
+        assert len(topics) == 4
+        assert graph.num_nodes == 24
+        for topic, members in topics.items():
+            assert len(members) == 6
+            for member in members:
+                assert graph.has_node(member)
+                assert member.startswith(topic)
+
+    def test_every_node_has_out_edges(self):
+        graph, _ = helpdesk_graph(num_topics=3, entities_per_topic=8, seed=2)
+        for node in graph.nodes():
+            assert graph.out_degree(node) >= 1
+
+    def test_out_mass(self):
+        graph, _ = helpdesk_graph(num_topics=3, entities_per_topic=5, seed=2,
+                                  out_mass=0.85)
+        for node in graph.nodes():
+            assert graph.out_weight_sum(node) == pytest.approx(0.85)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            helpdesk_graph(num_topics=0)
+        with pytest.raises(ValueError):
+            helpdesk_graph(entities_per_topic=1)
+
+
+class TestPerturbWeights:
+    def test_preserves_structure(self):
+        graph = random_digraph(40, 3.0, seed=9)
+        noisy = perturb_weights(graph, noise=0.5, seed=10)
+        assert set(noisy.edge_keys()) == set(graph.edge_keys())
+
+    def test_renormalize_preserves_out_sums(self):
+        graph = random_digraph(40, 3.0, seed=9)
+        noisy = perturb_weights(graph, noise=0.5, seed=10, renormalize=True)
+        for node in graph.nodes():
+            if graph.out_degree(node):
+                assert noisy.out_weight_sum(node) == pytest.approx(
+                    graph.out_weight_sum(node)
+                )
+
+    def test_changes_relative_weights(self):
+        graph = random_digraph(40, 3.0, seed=9)
+        noisy = perturb_weights(graph, noise=0.5, seed=10)
+        diffs = [
+            abs(noisy.weight(h, t) - graph.weight(h, t))
+            for h, t in graph.edge_keys()
+        ]
+        assert max(diffs) > 1e-6
+
+    def test_zero_noise_is_identity(self):
+        graph = random_digraph(20, 3.0, seed=9)
+        noisy = perturb_weights(graph, noise=0.0, seed=1)
+        for h, t in graph.edge_keys():
+            assert noisy.weight(h, t) == pytest.approx(graph.weight(h, t))
+
+    def test_original_untouched(self):
+        graph = random_digraph(20, 3.0, seed=9)
+        before = {(h, t): graph.weight(h, t) for h, t in graph.edge_keys()}
+        perturb_weights(graph, noise=0.7, seed=1)
+        after = {(h, t): graph.weight(h, t) for h, t in graph.edge_keys()}
+        assert before == after
+
+    def test_negative_noise_rejected(self):
+        graph = random_digraph(5, 2.0, seed=0)
+        with pytest.raises(ValueError):
+            perturb_weights(graph, noise=-0.1)

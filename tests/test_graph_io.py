@@ -1,0 +1,99 @@
+"""Unit tests for edge-list and JSON graph I/O."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    load_edge_list,
+    load_json_graph,
+    random_digraph,
+    save_edge_list,
+    save_json_graph,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        graph = random_digraph(30, 3.0, seed=4)
+        path = tmp_path / "graph.tsv"
+        save_edge_list(graph, path, header="test graph")
+        loaded = load_edge_list(path, normalize=False)
+        assert {(e.head, e.tail) for e in loaded.edges()} == {
+            (e.head, e.tail) for e in graph.edges()
+        }
+        for edge in graph.edges():
+            assert loaded.weight(edge.head, edge.tail) == pytest.approx(edge.weight)
+
+    def test_konect_format_with_comments(self, tmp_path):
+        path = tmp_path / "out.example"
+        path.write_text(
+            "% sym unweighted\n"
+            "% 3 3 3\n"
+            "1 2\n"
+            "2 3 0.5\n"
+            "# trailing comment\n"
+            "3 1 2.0\n"
+        )
+        graph = load_edge_list(path, normalize=False)
+        assert graph.num_edges == 3
+        assert graph.weight("1", "2") == 1.0  # default weight
+        assert graph.weight("2", "3") == 0.5
+
+    def test_normalization_on_load(self, tmp_path):
+        path = tmp_path / "out.example"
+        path.write_text("a b 3\na c 1\nb c 5\n")
+        graph = load_edge_list(path, normalize=True, out_mass=1.0)
+        assert graph.out_weight_sum("a") == pytest.approx(1.0)
+        assert graph.weight("a", "b") == pytest.approx(0.75)
+        assert graph.out_weight_sum("b") == pytest.approx(1.0)
+
+    def test_self_loops_skipped(self, tmp_path):
+        path = tmp_path / "loops.tsv"
+        path.write_text("a a 1\na b 1\n")
+        graph = load_edge_list(path, normalize=False)
+        assert not graph.has_edge("a", "a")
+        assert graph.has_edge("a", "b")
+
+    def test_nonpositive_weights_skipped(self, tmp_path):
+        path = tmp_path / "zero.tsv"
+        path.write_text("a b 0\nb c 1\n")
+        graph = load_edge_list(path, normalize=False)
+        assert not graph.has_edge("a", "b")
+        assert graph.has_edge("b", "c")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("only_one_column\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+    def test_bad_weight_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("a b not_a_number\n")
+        with pytest.raises(GraphError):
+            load_edge_list(path)
+
+
+class TestJson:
+    def test_round_trip_exact(self, tmp_path):
+        graph = random_digraph(25, 2.5, seed=8)
+        path = tmp_path / "graph.json"
+        save_json_graph(graph, path)
+        loaded = load_json_graph(path)
+        assert list(loaded.nodes()) == list(graph.nodes())
+        for edge in graph.edges():
+            assert loaded.weight(edge.head, edge.tail) == edge.weight  # bit-exact
+
+    def test_preserves_isolated_nodes(self, tmp_path):
+        graph = random_digraph(5, 1.0, seed=0)
+        graph.add_node("isolated")
+        path = tmp_path / "graph.json"
+        save_json_graph(graph, path)
+        loaded = load_json_graph(path)
+        assert loaded.has_node("isolated")
+
+    def test_bad_payload_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a graph"}')
+        with pytest.raises(GraphError):
+            load_json_graph(path)

@@ -1,0 +1,83 @@
+"""Unit + property tests for the NormalizeEdges step."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NodeNotFoundError
+from repro.graph import WeightedDiGraph, random_digraph
+from repro.graph.normalize import normalize_edges, normalize_out_weights, out_weight_sums
+
+
+@pytest.fixture
+def graph():
+    return WeightedDiGraph.from_edges(
+        [("a", "b", 0.2), ("a", "c", 0.6), ("b", "c", 0.9)],
+        strict=False,
+    )
+
+
+class TestNormalizeOutWeights:
+    def test_normalizes_to_target(self, graph):
+        normalize_out_weights(graph, target=1.0)
+        assert graph.out_weight_sum("a") == pytest.approx(1.0)
+        assert graph.out_weight_sum("b") == pytest.approx(1.0)
+
+    def test_preserves_ratios(self, graph):
+        normalize_out_weights(graph, target=1.0)
+        assert graph.weight("a", "c") / graph.weight("a", "b") == pytest.approx(3.0)
+
+    def test_selected_nodes_only(self, graph):
+        normalize_out_weights(graph, nodes=["a"], target=1.0)
+        assert graph.out_weight_sum("a") == pytest.approx(1.0)
+        assert graph.out_weight_sum("b") == pytest.approx(0.9)
+
+    def test_edge_filter(self, graph):
+        # Only normalize a's edge to b; the edge to c is "fixed".
+        normalize_out_weights(
+            graph, nodes=["a"], target=0.4, edge_filter=lambda h, t: t == "b"
+        )
+        assert graph.weight("a", "b") == pytest.approx(0.4)
+        assert graph.weight("a", "c") == pytest.approx(0.6)
+
+    def test_sink_nodes_skipped(self, graph):
+        normalize_out_weights(graph)  # c has no out-edges; must not raise
+        assert graph.out_degree("c") == 0
+
+    def test_missing_node_raises(self, graph):
+        with pytest.raises(NodeNotFoundError):
+            normalize_out_weights(graph, nodes=["ghost"])
+
+    def test_bad_target_raises(self, graph):
+        with pytest.raises(ValueError):
+            normalize_out_weights(graph, target=0.0)
+
+
+class TestNormalizeEdges:
+    def test_reference_sums_restored(self, graph):
+        reference = out_weight_sums(graph)
+        graph.set_weight("a", "b", 0.9)  # disturb the mass
+        normalize_edges(graph, reference_sums=reference)
+        assert graph.out_weight_sum("a") == pytest.approx(reference["a"])
+        assert graph.out_weight_sum("b") == pytest.approx(reference["b"])
+
+    def test_defaults_to_unit_mass(self, graph):
+        normalize_edges(graph, nodes=["a"])
+        assert graph.out_weight_sum("a") == pytest.approx(1.0)
+
+    def test_out_weight_sums_with_filter(self, graph):
+        sums = out_weight_sums(graph, edge_filter=lambda h, t: t != "c")
+        assert sums == pytest.approx({"a": 0.2})
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_property_round_trip_mass(self, seed):
+        """Perturb-then-normalize always restores recorded out-sums."""
+        g = random_digraph(15, 2.0, seed=seed, out_mass=0.9)
+        g.strict = False
+        reference = out_weight_sums(g)
+        for i, (h, t) in enumerate(list(g.edge_keys())):
+            g.set_weight(h, t, 0.05 + (i % 7) * 0.1)
+        normalize_edges(g, reference_sums=reference)
+        for node, target in reference.items():
+            assert g.out_weight_sum(node) == pytest.approx(target)

@@ -1,0 +1,112 @@
+"""Unit tests for augmented-graph persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import AugmentedGraph, WeightedDiGraph, helpdesk_graph
+from repro.graph.persistence import load_augmented_graph, save_augmented_graph
+from repro.optimize import solve_multi_vote
+from repro.similarity import inverse_pdistance
+from repro.votes import Vote
+
+
+@pytest.fixture
+def aug():
+    kg, topics = helpdesk_graph(num_topics=3, entities_per_topic=5, seed=2)
+    graph = AugmentedGraph(kg)
+    entities = [e for members in topics.values() for e in members]
+    graph.add_query("q1", {entities[0]: 1, entities[1]: 2})
+    graph.add_answer("ans1", {entities[2]: 1})
+    graph.add_answer("ans2", {entities[3]: 1, entities[4]: 3})
+    return graph
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, aug, tmp_path):
+        path = tmp_path / "graph.json"
+        save_augmented_graph(aug, path)
+        loaded = load_augmented_graph(path)
+        assert loaded.entity_nodes == aug.entity_nodes
+        assert loaded.query_nodes == aug.query_nodes
+        assert loaded.answer_nodes == aug.answer_nodes
+        assert loaded.graph.num_edges == aug.graph.num_edges
+
+    def test_weights_bit_exact(self, aug, tmp_path):
+        path = tmp_path / "graph.json"
+        save_augmented_graph(aug, path)
+        loaded = load_augmented_graph(path)
+        for edge in aug.graph.edges():
+            assert loaded.graph.weight(edge.head, edge.tail) == edge.weight
+
+    def test_similarities_survive(self, aug, tmp_path):
+        before = inverse_pdistance(aug.graph, "q1", ["ans1", "ans2"])
+        path = tmp_path / "graph.json"
+        save_augmented_graph(aug, path)
+        loaded = load_augmented_graph(path)
+        after = inverse_pdistance(loaded.graph, "q1", ["ans1", "ans2"])
+        assert after == before  # bit-for-bit
+
+    def test_optimized_weights_survive_restart(self, aug, tmp_path):
+        """The deployment story: optimize, save, reload, same rankings."""
+        answers = sorted(aug.answer_nodes, key=repr)
+        scores = inverse_pdistance(aug.graph, "q1", answers)
+        ranked = sorted(scores, key=lambda a: -scores[a])
+        vote = Vote("q1", tuple(ranked), ranked[-1])
+        optimized, _ = solve_multi_vote(aug, [vote], feasibility_filter=False)
+
+        path = tmp_path / "optimized.json"
+        save_augmented_graph(optimized, path)
+        reloaded = load_augmented_graph(path)
+        for edge in optimized.kg_edges():
+            assert reloaded.kg_weight(edge.head, edge.tail) == edge.weight
+
+    def test_loaded_graph_is_usable(self, aug, tmp_path):
+        path = tmp_path / "graph.json"
+        save_augmented_graph(aug, path)
+        loaded = load_augmented_graph(path)
+        # Roles enforce the same invariants as a freshly built graph.
+        assert loaded.is_kg_edge(*next(iter(loaded.kg_edges())).key)
+        entities = sorted(loaded.entity_nodes)
+        loaded.add_query("q_new", {entities[0]: 1})
+        assert "q_new" in loaded.query_nodes
+
+
+class TestErrorHandling:
+    def test_not_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphError):
+            load_augmented_graph(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "wrong.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(GraphError):
+            load_augmented_graph(path)
+
+    def test_unsupported_version(self, aug, tmp_path):
+        path = tmp_path / "graph.json"
+        save_augmented_graph(aug, path)
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(GraphError):
+            load_augmented_graph(path)
+
+    def test_orphan_link_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        payload = {
+            "format": "repro-augmented-graph",
+            "version": 1,
+            "nodes": ["e1", "stranger"],
+            "edges": [["e1", "stranger", 0.5]],
+            "queries": [],
+            "answers": ["other"],
+        }
+        # "stranger" is declared neither query nor answer but the loader
+        # sees "other" as an answer with no links -> error either way.
+        path.write_text(json.dumps(payload))
+        with pytest.raises(GraphError):
+            load_augmented_graph(path)

@@ -1,0 +1,107 @@
+"""Unit tests for graph statistics and summaries."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph import WeightedDiGraph, random_digraph
+from repro.graph.stats import (
+    effective_branching_factor,
+    out_degree_distribution,
+    reachability_profile,
+    summarize,
+)
+
+
+@pytest.fixture
+def small():
+    """q -> {a, b}; a -> c; isolated node i."""
+    graph = WeightedDiGraph.from_edges(
+        [("q", "a", 0.5), ("q", "b", 0.3), ("a", "c", 0.9)],
+        strict=False,
+    )
+    graph.add_node("i")
+    return graph
+
+
+class TestSummarize:
+    def test_counts(self, small):
+        summary = summarize(small)
+        assert summary.num_nodes == 5
+        assert summary.num_edges == 3
+        assert summary.max_out_degree == 2
+        assert summary.max_in_degree == 1
+
+    def test_sinks_and_sources(self, small):
+        summary = summarize(small)
+        # sinks: b, c, i; sources: q, i.
+        assert summary.num_sinks == 3
+        assert summary.num_sources == 2
+
+    def test_weight_extremes(self, small):
+        summary = summarize(small)
+        assert summary.min_weight == 0.3
+        assert summary.max_weight == 0.9
+        assert summary.max_out_weight_sum == pytest.approx(0.9)
+
+    def test_empty_graph(self):
+        summary = summarize(WeightedDiGraph())
+        assert summary.num_nodes == 0
+        assert summary.min_weight == 0.0
+
+    def test_as_row_length_matches(self, small):
+        assert len(summarize(small).as_row()) == 10
+
+
+class TestDegreeDistribution:
+    def test_histogram(self, small):
+        dist = out_degree_distribution(small)
+        assert dist == {0: 3, 1: 1, 2: 1}
+
+    def test_total_matches_nodes(self):
+        graph = random_digraph(50, 3.0, seed=1)
+        dist = out_degree_distribution(graph)
+        assert sum(dist.values()) == 50
+
+
+class TestReachability:
+    def test_profile_levels(self, small):
+        profile = reachability_profile(small, "q", max_depth=3)
+        assert profile == {0: 1, 1: 2, 2: 1, 3: 0}
+
+    def test_profile_respects_depth_cap(self, small):
+        profile = reachability_profile(small, "q", max_depth=1)
+        assert profile == {0: 1, 1: 2}
+
+    def test_isolated_source(self, small):
+        profile = reachability_profile(small, "i", max_depth=2)
+        assert profile == {0: 1, 1: 0, 2: 0}
+
+    def test_missing_node(self, small):
+        with pytest.raises(NodeNotFoundError):
+            reachability_profile(small, "ghost", 2)
+
+    def test_negative_depth(self, small):
+        with pytest.raises(ValueError):
+            reachability_profile(small, "q", -1)
+
+    def test_branching_factor_geometric_mean(self):
+        assert effective_branching_factor({0: 1, 1: 3, 2: 9}) == pytest.approx(3.0)
+
+    def test_branching_factor_ignores_dead_levels(self):
+        assert effective_branching_factor({0: 1, 1: 2, 2: 0, 3: 0}) == pytest.approx(2.0)
+
+    def test_branching_factor_degenerate(self):
+        assert effective_branching_factor({0: 1}) == 0.0
+
+    def test_branching_predicts_dense_vs_sparse(self):
+        dense = random_digraph(300, 6.0, seed=2)
+        sparse = random_digraph(300, 1.5, seed=2)
+        node_d = next(iter(dense.nodes()))
+        node_s = next(iter(sparse.nodes()))
+        bf_dense = effective_branching_factor(
+            reachability_profile(dense, node_d, 3)
+        )
+        bf_sparse = effective_branching_factor(
+            reachability_profile(sparse, node_s, 3)
+        )
+        assert bf_dense > bf_sparse

@@ -1,0 +1,176 @@
+"""Unit + integration tests for batching policies and the online loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VoteError
+from repro.graph import AugmentedGraph, helpdesk_graph
+from repro.graph.generators import perturb_weights
+from repro.optimize.online import OnlineOptimizer
+from repro.votes import GroundTruthOracle, Vote, generate_votes_from_oracle
+from repro.votes.stream import ConflictPolicy, CountPolicy, NegativeCountPolicy
+
+
+def make_vote(i, negative=True, query=None):
+    answers = ("a1", "a2", "a3")
+    best = "a2" if negative else "a1"
+    return Vote(query=query or f"q{i}", ranked_answers=answers, best_answer=best)
+
+
+class TestCountPolicy:
+    def test_triggers_at_threshold(self):
+        policy = CountPolicy(batch_size=3)
+        votes = [make_vote(i) for i in range(2)]
+        assert not policy.should_optimize(votes)
+        votes.append(make_vote(2))
+        assert policy.should_optimize(votes)
+
+    def test_invalid(self):
+        with pytest.raises(VoteError):
+            CountPolicy(batch_size=0)
+
+
+class TestNegativeCountPolicy:
+    def test_positives_do_not_trigger(self):
+        policy = NegativeCountPolicy(negative_votes=2)
+        votes = [make_vote(i, negative=False) for i in range(10)]
+        assert not policy.should_optimize(votes)
+
+    def test_negatives_trigger(self):
+        policy = NegativeCountPolicy(negative_votes=2)
+        votes = [make_vote(0, negative=False), make_vote(1), make_vote(2)]
+        assert policy.should_optimize(votes)
+
+    def test_invalid(self):
+        with pytest.raises(VoteError):
+            NegativeCountPolicy(negative_votes=0)
+
+
+class TestConflictPolicy:
+    def test_conflict_triggers_immediately(self):
+        policy = ConflictPolicy(max_pending=100)
+        agree = [make_vote(0, query="same"), make_vote(1, query="same")]
+        assert not policy.should_optimize(agree)
+        conflicting = agree + [make_vote(2, negative=False, query="same")]
+        assert policy.should_optimize(conflicting)
+
+    def test_backlog_fallback(self):
+        policy = ConflictPolicy(max_pending=3)
+        votes = [make_vote(i) for i in range(3)]  # distinct queries
+        assert policy.should_optimize(votes)
+
+    def test_invalid(self):
+        with pytest.raises(VoteError):
+            ConflictPolicy(max_pending=0)
+
+
+@pytest.fixture
+def streaming_setup():
+    """Corrupted helpdesk graph + an oracle-driven vote stream."""
+    kg, topics = helpdesk_graph(num_topics=4, entities_per_topic=8, seed=0)
+    entities = [e for members in topics.values() for e in members]
+    noisy = perturb_weights(kg, noise=1.5, seed=1)
+
+    def attach(base):
+        aug = AugmentedGraph(base)
+        rng = np.random.default_rng(42)
+        for i in range(10):
+            picks = rng.choice(len(entities), size=3, replace=False)
+            aug.add_answer(f"a{i}", {entities[int(p)]: 1 for p in picks})
+        for i in range(12):
+            picks = rng.choice(len(entities), size=2, replace=False)
+            aug.add_query(f"q{i}", {entities[int(p)]: 1 for p in picks})
+        return aug
+
+    truth = attach(kg)
+    deployed = attach(noisy)
+    votes = generate_votes_from_oracle(
+        deployed, GroundTruthOracle(truth), k=6, seed=3
+    )
+    return deployed, list(votes)
+
+
+class TestOnlineOptimizer:
+    def test_batches_fire_by_policy(self, streaming_setup):
+        deployed, votes = streaming_setup
+        online = OnlineOptimizer(deployed, policy=CountPolicy(batch_size=4))
+        outcomes = [online.submit(v) for v in votes]
+        fired = [o for o in outcomes if o is not None]
+        assert len(fired) == len(votes) // 4
+        assert online.total_votes_processed == len(fired) * 4
+
+    def test_flush_consumes_remainder(self, streaming_setup):
+        deployed, votes = streaming_setup
+        online = OnlineOptimizer(deployed, policy=CountPolicy(batch_size=100))
+        for vote in votes:
+            online.submit(vote)
+        outcome = online.flush()
+        assert outcome is not None
+        assert outcome.num_votes == len(votes)
+        assert len(online.pending) == 0
+
+    def test_flush_empty_is_noop(self, streaming_setup):
+        deployed, _ = streaming_setup
+        online = OnlineOptimizer(deployed)
+        assert online.flush() is None
+
+    def test_submit_validates_type(self, streaming_setup):
+        deployed, _ = streaming_setup
+        online = OnlineOptimizer(deployed)
+        with pytest.raises(VoteError):
+            online.submit("not a vote")
+
+    def test_strategy_escalation(self, streaming_setup):
+        deployed, votes = streaming_setup
+        online = OnlineOptimizer(
+            deployed,
+            policy=CountPolicy(batch_size=len(votes)),
+            split_merge_threshold=4,
+        )
+        for vote in votes:
+            outcome = online.submit(vote)
+        assert outcome is not None
+        assert outcome.strategy == "split-merge"
+
+    def test_small_batches_use_multi(self, streaming_setup):
+        deployed, votes = streaming_setup
+        online = OnlineOptimizer(
+            deployed,
+            policy=CountPolicy(batch_size=3),
+            split_merge_threshold=10,
+        )
+        outcome = None
+        for vote in votes[:3]:
+            outcome = online.submit(vote)
+        assert outcome is not None
+        assert outcome.strategy == "multi"
+
+    def test_history_and_trajectory(self, streaming_setup):
+        deployed, votes = streaming_setup
+        online = OnlineOptimizer(deployed, policy=CountPolicy(batch_size=4))
+        for vote in votes:
+            online.submit(vote)
+        assert len(online.omega_trajectory()) == len(online.history)
+        for outcome in online.history:
+            assert outcome.num_votes == 4
+            assert outcome.elapsed > 0
+
+    def test_graph_actually_improves(self, streaming_setup):
+        """Streamed optimization must help the negative votes it saw."""
+        from repro.eval.harness import rerank_vote
+
+        deployed, votes = streaming_setup
+        negatives = [v for v in votes if v.is_negative]
+        if not negatives:
+            pytest.skip("no negative votes in this stream")
+        online = OnlineOptimizer(deployed, policy=CountPolicy(batch_size=4))
+        for vote in votes:
+            online.submit(vote)
+        online.flush()
+        improved = sum(
+            rerank_vote(deployed, v) < v.best_rank for v in negatives
+        )
+        degraded = sum(
+            rerank_vote(deployed, v) > v.best_rank for v in negatives
+        )
+        assert improved >= degraded

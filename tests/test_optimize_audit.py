@@ -1,0 +1,138 @@
+"""Unit tests for the weight-change audit log."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.graph import AugmentedGraph, WeightedDiGraph
+from repro.optimize import solve_multi_vote
+from repro.optimize.audit import AuditLog
+from repro.votes import Vote
+
+
+@pytest.fixture
+def aug():
+    kg = WeightedDiGraph.from_edges(
+        [("x", "y", 0.7), ("x", "z", 0.2)], strict=False
+    )
+    graph = AugmentedGraph(kg)
+    graph.add_query("q", {"x": 1})
+    graph.add_answer("a1", {"y": 1})
+    graph.add_answer("a2", {"z": 1})
+    return graph
+
+
+def optimize_once(aug):
+    vote = Vote("q", ("a1", "a2"), "a2")
+    _, report = solve_multi_vote(
+        aug, [vote], in_place=True, feasibility_filter=False
+    )
+    return report
+
+
+class TestRecordAndQuery:
+    def test_record_entry(self, aug):
+        log = AuditLog()
+        report = optimize_once(aug)
+        entry = log.record(report.changed_edges, strategy="multi", num_votes=1)
+        assert len(log) == 1
+        assert entry.num_edges == len(report.changed_edges)
+        assert entry.strategy == "multi"
+
+    def test_edge_history(self, aug):
+        log = AuditLog()
+        for _ in range(2):
+            report = optimize_once(aug)
+            log.record(report.changed_edges, num_votes=1)
+        history = log.edge_history("x", "y")
+        assert len(history) >= 1
+        # Each record's after equals the next record's before when the
+        # same edge changes twice.
+        for (i1, _b1, a1), (i2, b2, _a2) in zip(history, history[1:]):
+            assert i1 < i2
+            assert a1 == pytest.approx(b2)
+
+    def test_total_drift(self, aug):
+        log = AuditLog()
+        report = optimize_once(aug)
+        log.record(report.changed_edges)
+        expected = sum(
+            abs(after - before) for before, after in report.changed_edges.values()
+        )
+        assert log.total_drift() == pytest.approx(expected)
+
+
+class TestRevert:
+    def test_revert_restores_weights(self, aug):
+        before = {e.key: e.weight for e in aug.kg_edges()}
+        log = AuditLog()
+        report = optimize_once(aug)
+        log.record(report.changed_edges, num_votes=1)
+        assert aug.kg_weight("x", "z") != pytest.approx(before[("x", "z")])
+
+        writes = log.revert_last(aug)
+        assert writes == len(report.changed_edges)
+        for (head, tail), weight in before.items():
+            assert aug.kg_weight(head, tail) == pytest.approx(weight)
+        assert len(log) == 0
+
+    def test_revert_multiple_passes_lifo(self, aug):
+        original = {e.key: e.weight for e in aug.kg_edges()}
+        log = AuditLog()
+        for _ in range(3):
+            report = optimize_once(aug)
+            log.record(report.changed_edges)
+        log.revert_last(aug, passes=3)
+        for (head, tail), weight in original.items():
+            assert aug.kg_weight(head, tail) == pytest.approx(weight)
+
+    def test_revert_detects_divergence(self, aug):
+        log = AuditLog()
+        report = optimize_once(aug)
+        log.record(report.changed_edges)
+        # Out-of-band mutation invalidates the log's expectations.
+        aug.set_kg_weight("x", "y", 0.111)
+        with pytest.raises(ReproError):
+            log.revert_last(aug)
+        assert len(log) == 1  # the log stays consistent after the failure
+
+    def test_revert_validation(self, aug):
+        log = AuditLog()
+        with pytest.raises(ReproError):
+            log.revert_last(aug)
+        with pytest.raises(ReproError):
+            log.revert_last(aug, passes=0)
+
+
+class TestPersistence:
+    def test_round_trip(self, aug, tmp_path):
+        log = AuditLog()
+        report = optimize_once(aug)
+        log.record(report.changed_edges, strategy="multi", num_votes=1)
+        path = tmp_path / "audit.json"
+        log.save(path)
+        loaded = AuditLog.load(path)
+        assert len(loaded) == 1
+        assert loaded.entries[0].changes == log.entries[0].changes
+
+    def test_loaded_log_can_revert(self, aug, tmp_path):
+        before = {e.key: e.weight for e in aug.kg_edges()}
+        log = AuditLog()
+        report = optimize_once(aug)
+        log.record(report.changed_edges)
+        path = tmp_path / "audit.json"
+        log.save(path)
+
+        loaded = AuditLog.load(path)
+        loaded.revert_last(aug)
+        for (head, tail), weight in before.items():
+            assert aug.kg_weight(head, tail) == pytest.approx(weight)
+
+    def test_bad_files(self, tmp_path):
+        junk = tmp_path / "junk.json"
+        junk.write_text("{broken")
+        with pytest.raises(ReproError):
+            AuditLog.load(junk)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text('{"format": "other"}')
+        with pytest.raises(ReproError):
+            AuditLog.load(wrong)

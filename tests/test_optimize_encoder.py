@@ -1,0 +1,157 @@
+"""Unit tests for vote → SGP encoding."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SGPModelError
+from repro.graph import AugmentedGraph, WeightedDiGraph
+from repro.optimize.encoder import DEVIATION_SHIFT, encode_votes
+from repro.similarity import inverse_pdistance
+from repro.votes import Vote
+
+
+@pytest.fixture
+def two_answer_aug():
+    """x fans out to y (strong) and z (weak); a1 hangs off y, a2 off z."""
+    kg = WeightedDiGraph.from_edges(
+        [("x", "y", 0.7), ("x", "z", 0.2)], strict=False
+    )
+    aug = AugmentedGraph(kg)
+    aug.add_query("q", {"x": 1})
+    aug.add_answer("a1", {"y": 1})
+    aug.add_answer("a2", {"z": 1})
+    return aug
+
+
+@pytest.fixture
+def negative_vote():
+    return Vote("q", ("a1", "a2"), "a2")
+
+
+class TestEncodeStructure:
+    def test_variables_are_adjustable_edges_only(self, two_answer_aug, negative_vote):
+        encoded = encode_votes(two_answer_aug, [negative_vote], use_deviations=False)
+        edges = set(encoded.variables.edges())
+        assert edges == {("x", "y"), ("x", "z")}
+        assert encoded.num_edge_vars == 2
+        assert encoded.num_deviation_vars == 0
+
+    def test_one_constraint_per_rival(self, two_answer_aug):
+        vote = Vote("q", ("a1", "a2"), "a2")
+        encoded = encode_votes(two_answer_aug, [vote], use_deviations=False)
+        # k = 2 answers, one rival => one constraint.
+        assert encoded.problem.num_constraints == 1
+        assert encoded.constraint_votes == [0]
+
+    def test_positive_vote_also_encodable(self, two_answer_aug):
+        vote = Vote("q", ("a1", "a2"), "a1")  # confirm the top answer
+        encoded = encode_votes(two_answer_aug, [vote], use_deviations=True)
+        assert encoded.problem.num_constraints == 1
+
+    def test_initial_point_is_current_weights(self, two_answer_aug, negative_vote):
+        encoded = encode_votes(two_answer_aug, [negative_vote], use_deviations=False)
+        values = encoded.edge_values(encoded.problem.x0)
+        assert values[("x", "y")] == pytest.approx(0.7)
+        assert values[("x", "z")] == pytest.approx(0.2)
+
+    def test_deviation_block(self, two_answer_aug, negative_vote):
+        encoded = encode_votes(two_answer_aug, [negative_vote], use_deviations=True)
+        assert encoded.num_deviation_vars == 1
+        dev_id = encoded.deviation_ids[0]
+        assert encoded.problem.x0[dev_id] == pytest.approx(DEVIATION_SHIFT)
+        # d' bounds translate to d in (−shift, +DEVIATION_MAX].
+        assert encoded.problem.lower[dev_id] > 0
+        assert encoded.problem.upper[dev_id] > 2 * DEVIATION_SHIFT
+
+    def test_deviation_values_unshift(self, two_answer_aug, negative_vote):
+        encoded = encode_votes(two_answer_aug, [negative_vote], use_deviations=True)
+        x = encoded.problem.x0.copy()
+        assert encoded.deviation_values(x)[0] == pytest.approx(0.0)
+        x[encoded.deviation_ids[0]] = DEVIATION_SHIFT + 0.25
+        assert encoded.deviation_values(x)[0] == pytest.approx(0.25)
+
+    def test_empty_votes_rejected(self, two_answer_aug):
+        with pytest.raises(SGPModelError):
+            encode_votes(two_answer_aug, [])
+
+    def test_unreachable_best_answer_skipped(self, two_answer_aug):
+        kg = WeightedDiGraph.from_edges([("x", "y", 0.5)], strict=False)
+        kg.add_node("island")
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"x": 1})
+        aug.add_answer("a1", {"y": 1})
+        aug.add_answer("a2", {"island": 1})
+        bad = Vote("q", ("a1", "a2"), "a2")
+        good = Vote("q", ("a1", "a2"), "a1")
+        encoded = encode_votes(aug, [bad, good], use_deviations=False)
+        assert bad in encoded.skipped_votes
+        assert encoded.problem.num_constraints == 1
+
+
+class TestEncodeSemantics:
+    def test_constraint_sign_matches_current_ranking(self, two_answer_aug, negative_vote):
+        """At the current weights, a losing best answer violates the constraint."""
+        encoded = encode_votes(
+            two_answer_aug, [negative_vote], use_deviations=False, margin=0.0
+        )
+        values = encoded.problem.constraint_values(encoded.problem.x0)
+        assert values[0] > 0  # a2 currently loses to a1
+
+    def test_constraint_satisfied_for_positive_vote(self, two_answer_aug):
+        vote = Vote("q", ("a1", "a2"), "a1")
+        encoded = encode_votes(
+            two_answer_aug, [vote], use_deviations=False, margin=0.0
+        )
+        values = encoded.problem.constraint_values(encoded.problem.x0)
+        assert values[0] < 0  # a1 currently wins; constraint already holds
+
+    def test_scaling_normalizes_magnitude(self, two_answer_aug, negative_vote):
+        """Scaled constraint value = (S_other − S_best) / S_best at x0."""
+        encoded = encode_votes(
+            two_answer_aug,
+            [negative_vote],
+            use_deviations=False,
+            margin=0.0,
+            scale_constraints=True,
+        )
+        scores = inverse_pdistance(two_answer_aug.graph, "q", ["a1", "a2"])
+        expected = (scores["a1"] - scores["a2"]) / scores["a2"]
+        value = encoded.problem.constraint_values(encoded.problem.x0)[0]
+        assert value == pytest.approx(expected, rel=1e-9)
+
+    def test_unscaled_constraint_is_raw_difference(self, two_answer_aug, negative_vote):
+        encoded = encode_votes(
+            two_answer_aug,
+            [negative_vote],
+            use_deviations=False,
+            margin=0.0,
+            scale_constraints=False,
+        )
+        scores = inverse_pdistance(two_answer_aug.graph, "q", ["a1", "a2"])
+        value = encoded.problem.constraint_values(encoded.problem.x0)[0]
+        assert value == pytest.approx(scores["a1"] - scores["a2"], rel=1e-9)
+
+    def test_deviation_absorbs_violation(self, two_answer_aug, negative_vote):
+        """With d large enough, even a violated vote's constraint holds."""
+        encoded = encode_votes(two_answer_aug, [negative_vote], use_deviations=True)
+        x = encoded.problem.x0.copy()
+        raw = encoded.problem.constraint_values(x)[0]
+        x[encoded.deviation_ids[0]] += raw + 1e-6
+        assert encoded.problem.constraint_values(x)[0] < 0
+
+    def test_bad_bounds_rejected(self, two_answer_aug, negative_vote):
+        with pytest.raises(SGPModelError):
+            encode_votes(
+                two_answer_aug, [negative_vote], lower=0.5, upper=0.1
+            )
+
+    def test_votes_with_no_adjustable_edges_rejected(self):
+        """Query links straight to the answer's entity: nothing to tune."""
+        kg = WeightedDiGraph(strict=False)
+        kg.add_node("x")
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"x": 1})
+        aug.add_answer("a1", {"x": 1})
+        vote = Vote("q", ("a1",), "a1")
+        with pytest.raises(SGPModelError):
+            encode_votes(aug, [vote])

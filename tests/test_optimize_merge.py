@@ -1,0 +1,119 @@
+"""Unit tests for the split-and-merge merge rule and parallel scheduling."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.optimize.merge import merge_changes, merged_weights
+from repro.optimize.parallel import simulated_makespan
+
+
+class TestMergeChanges:
+    def test_single_cluster_change_passes_through(self):
+        merged = merge_changes([({"e1": 0.04}, 5)])
+        assert merged == pytest.approx({"e1": 0.04})
+
+    def test_paper_fig4_example(self):
+        """Changes ⟨−0.01, +0.03, +0.07⟩ with counts ⟨10, 8, 9⟩ → +0.07."""
+        merged = merge_changes(
+            [
+                ({"xe": -0.01}, 10),
+                ({"xe": 0.03}, 8),
+                ({"xe": 0.07}, 9),
+            ]
+        )
+        assert merged["xe"] == pytest.approx(0.07)
+
+    def test_negative_weighted_sum_takes_minimum(self):
+        merged = merge_changes(
+            [
+                ({"xe": -0.05}, 20),
+                ({"xe": 0.01}, 2),
+            ]
+        )
+        assert merged["xe"] == pytest.approx(-0.05)
+
+    def test_disjoint_edges_union(self):
+        merged = merge_changes(
+            [
+                ({"e1": 0.02}, 3),
+                ({"e2": -0.03}, 4),
+            ]
+        )
+        assert merged == pytest.approx({"e1": 0.02, "e2": -0.03})
+
+    def test_tiny_changes_ignored(self):
+        merged = merge_changes([({"e1": 1e-12}, 3)])
+        assert merged == {}
+
+    def test_empty_clusters_rejected(self):
+        with pytest.raises(ReproError):
+            merge_changes([])
+
+    def test_negative_vote_count_rejected(self):
+        with pytest.raises(ReproError):
+            merge_changes([({"e1": 0.1}, -1)])
+
+    def test_tie_in_weighted_sum_goes_positive(self):
+        """Zero weighted sum counts as non-negative → maximum is chosen."""
+        merged = merge_changes(
+            [
+                ({"xe": -0.02}, 5),
+                ({"xe": 0.02}, 5),
+            ]
+        )
+        assert merged["xe"] == pytest.approx(0.02)
+
+
+class TestMergedWeights:
+    def test_applies_deltas(self):
+        weights = merged_weights({"e1": 0.5}, {"e1": 0.1})
+        assert weights["e1"] == pytest.approx(0.6)
+
+    def test_clips_to_bounds(self):
+        weights = merged_weights(
+            {"e1": 0.95, "e2": 0.01},
+            {"e1": 0.2, "e2": -0.2},
+            lower=1e-3,
+            upper=1.0,
+        )
+        assert weights["e1"] == 1.0
+        assert weights["e2"] == pytest.approx(1e-3)
+
+    def test_missing_base_rejected(self):
+        with pytest.raises(ReproError):
+            merged_weights({}, {"e1": 0.1})
+
+
+class TestSimulatedMakespan:
+    def test_single_worker_is_total(self):
+        assert simulated_makespan([3, 1, 2], 1) == pytest.approx(6.0)
+
+    def test_perfect_split(self):
+        assert simulated_makespan([2, 2, 2, 2], 2) == pytest.approx(4.0)
+
+    def test_bounded_by_longest_job(self):
+        assert simulated_makespan([10, 1, 1], 4) == pytest.approx(10.0)
+
+    def test_lpt_balances(self):
+        # Jobs 5,4,3,3,3 on 2 workers: LPT gives {5,3,3}=11? no: 5→w1,
+        # 4→w2, 3→w2(7), 3→w1(8), 3→w2(10) → makespan 10.
+        assert simulated_makespan([5, 4, 3, 3, 3], 2) == pytest.approx(10.0)
+
+    def test_dispatch_overhead(self):
+        base = simulated_makespan([1, 1], 2)
+        inflated = simulated_makespan([1, 1], 2, dispatch_overhead=0.5)
+        assert inflated == pytest.approx(base + 0.5)
+
+    def test_empty(self):
+        assert simulated_makespan([], 3) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            simulated_makespan([1.0], 0)
+        with pytest.raises(ReproError):
+            simulated_makespan([1.0], 2, dispatch_overhead=-1)
+
+    def test_more_workers_never_slower(self):
+        times = [4, 3, 3, 2, 2, 1]
+        spans = [simulated_makespan(times, n) for n in (1, 2, 3, 4, 8)]
+        assert all(a >= b - 1e-12 for a, b in zip(spans, spans[1:]))

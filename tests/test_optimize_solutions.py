@@ -1,0 +1,242 @@
+"""Integration tests for the single-vote, multi-vote, and split-merge drivers.
+
+The shared scenario: a small two-answer graph where the vote demands a
+ranking flip, plus a larger helpdesk scenario where votes are produced
+by a ground-truth oracle against a corrupted graph and optimization is
+expected to improve Ω_avg.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import rerank_vote, vote_omega_avg
+from repro.graph import AugmentedGraph, WeightedDiGraph, helpdesk_graph
+from repro.graph.generators import perturb_weights
+from repro.optimize import (
+    solve_multi_vote,
+    solve_single_votes,
+    solve_split_merge,
+)
+from repro.similarity import inverse_pdistance
+from repro.votes import (
+    GroundTruthOracle,
+    Vote,
+    VoteSet,
+    generate_votes_from_oracle,
+)
+
+
+@pytest.fixture
+def flip_aug():
+    """a1 beats a2; one negative vote wants a2 on top."""
+    kg = WeightedDiGraph.from_edges(
+        [("x", "y", 0.7), ("x", "z", 0.2)], strict=False
+    )
+    aug = AugmentedGraph(kg)
+    aug.add_query("q", {"x": 1})
+    aug.add_answer("a1", {"y": 1})
+    aug.add_answer("a2", {"z": 1})
+    return aug
+
+
+@pytest.fixture
+def flip_vote():
+    return Vote("q", ("a1", "a2"), "a2")
+
+
+def helpdesk_scenario(noise=1.5, num_queries=14, num_answers=10, seed=0):
+    """(corrupted graph, vote set, truth graph) for effectiveness tests."""
+    kg, topics = helpdesk_graph(num_topics=4, entities_per_topic=8, seed=seed)
+    entities = [e for members in topics.values() for e in members]
+    noisy_kg = perturb_weights(kg, noise=noise, seed=seed + 1)
+
+    def attach(base):
+        aug = AugmentedGraph(base)
+        rng = np.random.default_rng(seed + 42)
+        for i in range(num_answers):
+            picks = rng.choice(len(entities), size=3, replace=False)
+            aug.add_answer(f"a{i}", {entities[int(p)]: 1 for p in picks})
+        for i in range(num_queries):
+            picks = rng.choice(len(entities), size=2, replace=False)
+            aug.add_query(f"q{i}", {entities[int(p)]: 1 for p in picks})
+        return aug
+
+    aug_truth = attach(kg)
+    aug_noisy = attach(noisy_kg)
+    oracle = GroundTruthOracle(aug_truth)
+    votes = generate_votes_from_oracle(aug_noisy, oracle, k=6, seed=seed + 3)
+    return aug_noisy, votes, aug_truth
+
+
+class TestSingleVote:
+    def test_flips_the_ranking(self, flip_aug, flip_vote):
+        optimized, report = solve_single_votes(flip_aug, [flip_vote])
+        assert report.num_solved == 1
+        assert rerank_vote(optimized, flip_vote) == 1
+        scores = inverse_pdistance(optimized.graph, "q", ["a1", "a2"])
+        assert scores["a2"] > scores["a1"]
+
+    def test_original_graph_untouched(self, flip_aug, flip_vote):
+        before = flip_aug.kg_weight("x", "y")
+        solve_single_votes(flip_aug, [flip_vote])
+        assert flip_aug.kg_weight("x", "y") == before
+
+    def test_in_place(self, flip_aug, flip_vote):
+        result, _ = solve_single_votes(flip_aug, [flip_vote], in_place=True)
+        assert result is flip_aug
+
+    def test_positive_votes_ignored(self, flip_aug):
+        positive = Vote("q", ("a1", "a2"), "a1")
+        optimized, report = solve_single_votes(flip_aug, [positive])
+        assert report.num_solved == 0
+        assert optimized.kg_weight("x", "y") == flip_aug.kg_weight("x", "y")
+
+    def test_normalization_preserves_out_mass(self, flip_aug, flip_vote):
+        mass_before = flip_aug.graph.out_weight_sum("x") - 0.0
+        optimized, _ = solve_single_votes(flip_aug, [flip_vote])
+        kg_mass = sum(
+            w for t, w in optimized.graph.successors("x").items()
+            if optimized.is_kg_edge("x", t)
+        )
+        assert kg_mass == pytest.approx(0.9, abs=1e-6)  # 0.7 + 0.2
+
+    def test_report_timings(self, flip_aug, flip_vote):
+        _, report = solve_single_votes(flip_aug, [flip_vote])
+        assert report.elapsed > 0
+        assert report.solve_time > 0
+
+    def test_unencodable_vote_skipped_gracefully(self):
+        kg = WeightedDiGraph.from_edges([("x", "y", 0.5)], strict=False)
+        kg.add_node("island")
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"x": 1})
+        aug.add_answer("a1", {"y": 1})
+        aug.add_answer("a2", {"island": 1})
+        vote = Vote("q", ("a1", "a2"), "a2")  # impossible
+        optimized, report = solve_single_votes(aug, [vote])
+        assert report.num_solved == 0
+        assert report.outcomes[0].skipped_reason
+
+    def test_greedy_order_processes_all_negatives(self):
+        aug, votes, _ = helpdesk_scenario()
+        _, report = solve_single_votes(aug, votes)
+        assert len(report.outcomes) == votes.num_negative
+
+
+class TestMultiVote:
+    def test_flips_the_ranking(self, flip_aug, flip_vote):
+        optimized, report = solve_multi_vote(flip_aug, [flip_vote])
+        assert report.solution is not None
+        assert report.num_violated_deviations == 0
+        assert rerank_vote(optimized, flip_vote) == 1
+
+    def test_positive_vote_keeps_ranking(self, flip_aug):
+        positive = Vote("q", ("a1", "a2"), "a1")
+        optimized, report = solve_multi_vote(flip_aug, [positive])
+        scores = inverse_pdistance(optimized.graph, "q", ["a1", "a2"])
+        assert scores["a1"] > scores["a2"]
+
+    def test_conflicting_votes_partially_satisfied(self, flip_aug):
+        """Two users demand opposite rankings for the same query."""
+        v1 = Vote("q", ("a1", "a2"), "a2")
+        v2 = Vote("q", ("a1", "a2"), "a1")
+        optimized, report = solve_multi_vote(
+            flip_aug, [v1, v2], feasibility_filter=False
+        )
+        # Exactly one of the two demands can win.
+        assert report.num_violated_deviations >= 1
+        scores = inverse_pdistance(optimized.graph, "q", ["a1", "a2"])
+        assert scores["a1"] != scores["a2"]
+
+    def test_feasibility_filter_discards_impossible(self):
+        kg = WeightedDiGraph.from_edges([("x", "y", 0.5)], strict=False)
+        kg.add_node("island")
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"x": 1})
+        aug.add_answer("a1", {"y": 1})
+        aug.add_answer("a2", {"island": 1})
+        impossible = Vote("q", ("a1", "a2"), "a2")
+        optimized, report = solve_multi_vote(aug, [impossible])
+        assert len(report.discarded_votes) == 1
+        assert report.solution is None  # nothing left to solve
+
+    def test_improves_omega_on_corrupted_graph(self):
+        aug, votes, _ = helpdesk_scenario()
+        optimized, report = solve_multi_vote(aug, votes)
+        assert vote_omega_avg(optimized, votes) > 0.0
+
+    def test_multi_beats_single_on_mixed_votes(self):
+        """The Table IV/V headline: multi-vote ≥ single-vote on Ω_avg."""
+        aug, votes, _ = helpdesk_scenario()
+        multi, _ = solve_multi_vote(aug, votes)
+        single, _ = solve_single_votes(aug, votes)
+        assert vote_omega_avg(multi, votes) >= vote_omega_avg(single, votes) - 1e-9
+
+    def test_report_accounts_time(self):
+        aug, votes, _ = helpdesk_scenario(num_queries=6)
+        _, report = solve_multi_vote(aug, votes)
+        assert report.elapsed >= report.solve_time
+        assert report.encode_time > 0
+
+    def test_empty_votes_no_change(self, flip_aug):
+        optimized, report = solve_multi_vote(flip_aug, [])
+        assert report.solution is None
+        assert optimized.kg_weight("x", "y") == pytest.approx(0.7)
+
+    def test_lambda2_zero_keeps_graph_nearly_unchanged(self, flip_aug, flip_vote):
+        """Without the satisfaction term there is no incentive to move."""
+        optimized, report = solve_multi_vote(
+            flip_aug, [flip_vote], lambda1=1.0, lambda2=0.0,
+            feasibility_filter=False,
+        )
+        assert abs(optimized.kg_weight("x", "y") - 0.7) < 0.05
+
+
+class TestSplitMerge:
+    def test_matches_multi_vote_on_small_input(self):
+        aug, votes, _ = helpdesk_scenario(num_queries=8)
+        multi, _ = solve_multi_vote(aug, votes)
+        merged, report = solve_split_merge(aug, votes)
+        omega_multi = vote_omega_avg(multi, votes)
+        omega_merged = vote_omega_avg(merged, votes)
+        # The paper's finding: S-M is close to (occasionally above) basic.
+        assert omega_merged >= omega_multi - 0.5
+
+    def test_clusters_cover_all_votes(self):
+        aug, votes, _ = helpdesk_scenario()
+        _, report = solve_split_merge(aug, votes)
+        members = sorted(i for cluster in report.clusters for i in cluster)
+        assert members == list(range(len(votes)))
+
+    def test_cluster_results_per_cluster(self):
+        aug, votes, _ = helpdesk_scenario()
+        _, report = solve_split_merge(aug, votes)
+        assert len(report.cluster_results) == report.num_clusters
+        assert report.solve_time_max <= report.solve_time_total + 1e-9
+
+    def test_distributed_makespan_bounds(self):
+        aug, votes, _ = helpdesk_scenario()
+        _, report = solve_split_merge(aug, votes)
+        one = report.distributed_makespan(num_workers=1)
+        four = report.distributed_makespan(num_workers=4)
+        assert four <= one + 1e-9
+        assert four >= report.split_time + report.merge_time
+
+    def test_empty_votes(self, flip_aug):
+        optimized, report = solve_split_merge(flip_aug, [])
+        assert report.num_clusters == 0
+        assert optimized.kg_weight("x", "y") == pytest.approx(0.7)
+
+    def test_single_vote_cluster(self, flip_aug, flip_vote):
+        optimized, report = solve_split_merge(flip_aug, [flip_vote])
+        assert report.num_clusters == 1
+        assert rerank_vote(optimized, flip_vote) == 1
+
+    def test_parallel_workers_agree_with_sequential(self):
+        aug, votes, _ = helpdesk_scenario(num_queries=8)
+        seq, _ = solve_split_merge(aug, votes, num_workers=1)
+        par, _ = solve_split_merge(aug, votes, num_workers=2)
+        for edge in seq.kg_edges():
+            assert par.kg_weight(edge.head, edge.tail) == pytest.approx(
+                edge.weight, abs=1e-6
+            )

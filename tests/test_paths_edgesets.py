@@ -1,0 +1,81 @@
+"""Unit tests for vote edge sets, cross-checked against enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import AugmentedGraph, WeightedDiGraph, random_digraph
+from repro.paths import enumerate_walks, reachable_edge_set, vote_edge_set
+
+
+def edges_from_enumeration(graph, source, target, max_length):
+    """Ground truth: union of consecutive pairs over all enumerated walks."""
+    walks = enumerate_walks(graph, source, target, max_length)[target]
+    return {pair for walk in walks for pair in zip(walk, walk[1:])}
+
+
+class TestReachableEdgeSet:
+    def test_matches_enumeration_fig1(self, fig1_aug):
+        for length in (2, 3, 4, 5):
+            expected = edges_from_enumeration(fig1_aug.graph, "q", "a3", length)
+            assert reachable_edge_set(fig1_aug.graph, "q", "a3", length) == expected
+
+    def test_unreachable_is_empty(self, fig1_aug):
+        fig1_aug.graph.add_node("island")
+        assert reachable_edge_set(fig1_aug.graph, "q", "island", 5) == set()
+
+    def test_budget_too_small_is_empty(self, fig1_aug):
+        # Shortest q -> a3 walk has 4 edges.
+        assert reachable_edge_set(fig1_aug.graph, "q", "a3", 3) == set()
+
+    def test_bad_length(self, fig1_aug):
+        with pytest.raises(ValueError):
+            reachable_edge_set(fig1_aug.graph, "q", "a3", 0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        max_length=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_enumeration(self, seed, max_length):
+        """BFS-distance edge sets equal enumeration-derived edge sets."""
+        graph = random_digraph(10, 2.0, seed=seed)
+        graph.strict = False
+        nodes = list(graph.nodes())
+        source, target = nodes[0], nodes[-1]
+        expected = edges_from_enumeration(graph, source, target, max_length)
+        assert reachable_edge_set(graph, source, target, max_length) == expected
+
+
+class TestVoteEdgeSet:
+    def test_union_over_answers(self, fig1_aug):
+        graph = fig1_aug.graph
+        single = reachable_edge_set(graph, "q", "a3", 5)
+        combined = vote_edge_set(graph, "q", ["a3"], 5)
+        assert combined == single
+
+    def test_multiple_answers(self):
+        kg = WeightedDiGraph.from_edges(
+            [("x", "y", 0.5), ("x", "z", 0.5)], strict=False
+        )
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"x": 1})
+        aug.add_answer("a1", {"y": 1})
+        aug.add_answer("a2", {"z": 1})
+        edges = vote_edge_set(aug.graph, "q", ["a1", "a2"], 3)
+        assert ("x", "y") in edges and ("y", "a1") in edges
+        assert ("x", "z") in edges and ("z", "a2") in edges
+
+    def test_disjoint_votes_have_disjoint_edge_sets(self):
+        kg = WeightedDiGraph.from_edges(
+            [("x", "y", 0.5), ("u", "v", 0.5)], strict=False
+        )
+        aug = AugmentedGraph(kg)
+        aug.add_query("q1", {"x": 1})
+        aug.add_query("q2", {"u": 1})
+        aug.add_answer("a1", {"y": 1})
+        aug.add_answer("a2", {"v": 1})
+        e1 = vote_edge_set(aug.graph, "q1", ["a1"], 4)
+        e2 = vote_edge_set(aug.graph, "q2", ["a2"], 4)
+        assert e1 and e2
+        assert not (e1 & e2)

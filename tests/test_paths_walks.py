@@ -1,0 +1,118 @@
+"""Unit tests for bounded walk enumeration."""
+
+import pytest
+
+from repro.errors import NodeNotFoundError
+from repro.graph import WeightedDiGraph
+from repro.paths import count_walks, enumerate_walks, walk_probability
+from repro.paths.walks import iter_walks
+
+
+@pytest.fixture
+def diamond():
+    """q -> {b, c} -> d, plus a back-edge d -> b creating cycles."""
+    return WeightedDiGraph.from_edges(
+        [
+            ("q", "b", 0.5),
+            ("q", "c", 0.5),
+            ("b", "d", 0.8),
+            ("c", "d", 0.6),
+            ("d", "b", 0.2),
+        ],
+        strict=False,
+    )
+
+
+class TestEnumerateWalks:
+    def test_simple_paths(self, diamond):
+        walks = enumerate_walks(diamond, "q", "d", max_length=2)["d"]
+        assert sorted(walks) == [("q", "b", "d"), ("q", "c", "d")]
+
+    def test_cyclic_walks_included(self, diamond):
+        walks = enumerate_walks(diamond, "q", "d", max_length=4)["d"]
+        # Length-4 walks revisit d through the d -> b back-edge.
+        assert ("q", "b", "d", "b", "d") in walks
+        assert ("q", "c", "d", "b", "d") in walks
+        assert len(walks) == 4
+
+    def test_walk_through_target_counted_per_arrival(self, diamond):
+        # Every prefix ending at the target is a distinct walk.
+        walks = enumerate_walks(diamond, "q", "b", max_length=4)["b"]
+        assert ("q", "b") in walks
+        assert ("q", "b", "d", "b") in walks
+        assert ("q", "c", "d", "b") in walks
+        assert len(walks) == 3
+
+    def test_multiple_targets_share_enumeration(self, diamond):
+        walks = enumerate_walks(diamond, "q", ["b", "c", "d"], max_length=2)
+        assert len(walks["b"]) == 1
+        assert len(walks["c"]) == 1
+        assert len(walks["d"]) == 2
+
+    def test_unreachable_target_empty(self, diamond):
+        diamond.add_node("island")
+        walks = enumerate_walks(diamond, "q", "island", max_length=5)
+        assert walks["island"] == []
+
+    def test_source_not_counted_as_zero_length_walk(self, diamond):
+        walks = enumerate_walks(diamond, "q", "q", max_length=3)["q"]
+        assert all(len(w) > 1 for w in walks)
+
+    def test_missing_nodes_raise(self, diamond):
+        with pytest.raises(NodeNotFoundError):
+            enumerate_walks(diamond, "ghost", "d", 3)
+        with pytest.raises(NodeNotFoundError):
+            enumerate_walks(diamond, "q", "ghost", 3)
+
+    def test_bad_length_raises(self, diamond):
+        with pytest.raises(ValueError):
+            enumerate_walks(diamond, "q", "d", 0)
+
+
+class TestWalkProbability:
+    def test_product_of_weights(self, diamond):
+        assert walk_probability(diamond, ("q", "b", "d")) == pytest.approx(0.4)
+
+    def test_cyclic_walk(self, diamond):
+        prob = walk_probability(diamond, ("q", "b", "d", "b", "d"))
+        assert prob == pytest.approx(0.5 * 0.8 * 0.2 * 0.8)
+
+    def test_too_short_walk_raises(self, diamond):
+        with pytest.raises(ValueError):
+            walk_probability(diamond, ("q",))
+
+
+class TestCountAndIter:
+    def test_count_matches_enumeration(self, diamond):
+        assert count_walks(diamond, "q", "d", 4) == 4
+
+    def test_iter_walks_lazy(self, diamond):
+        gen = iter_walks(diamond, "q", "d", 4)
+        first = next(gen)
+        assert first[0] == "q" and first[-1] == "d"
+        remaining = list(gen)
+        assert len(remaining) == 3
+
+    def test_iter_and_enumerate_agree(self, diamond):
+        eager = set(enumerate_walks(diamond, "q", "d", 5)["d"])
+        lazy = set(iter_walks(diamond, "q", "d", 5))
+        assert eager == lazy
+
+
+class TestFig1Example:
+    def test_exactly_four_short_walks_to_a3(self, fig1_aug):
+        walks = enumerate_walks(fig1_aug.graph, "q", "a3", max_length=5)["a3"]
+        assert len(walks) == 4
+        assert ("q", "Outbox", "SendMessage", "Outlook", "a3") in walks
+        assert ("q", "Email", "SendMessage", "Outlook", "a3") in walks
+        assert ("q", "Outbox", "Email", "SendMessage", "Outlook", "a3") in walks
+        assert ("q", "Email", "Outbox", "SendMessage", "Outlook", "a3") in walks
+
+    def test_walk_sum_matches_paper_arithmetic(self, fig1_aug, fig1_expected_a3):
+        c = 0.15
+        walks = enumerate_walks(fig1_aug.graph, "q", "a3", max_length=5)["a3"]
+        total = sum(
+            walk_probability(fig1_aug.graph, walk) * c * (1 - c) ** (len(walk) - 1)
+            for walk in walks
+        )
+        assert total == pytest.approx(fig1_expected_a3)

@@ -1,0 +1,144 @@
+"""Unit tests for the corpus generator and entity extraction."""
+
+import pytest
+
+from repro.errors import CorpusError
+from repro.qa import EntityVocabulary, generate_helpdesk_corpus, tokenize
+from repro.qa.corpus import Document, QAPair
+
+
+class TestTokenize:
+    def test_lowercase_and_split(self):
+        assert tokenize("Refund NOT arriving!") == ["refund", "not", "arriving"]
+
+    def test_keeps_digits_and_underscores(self):
+        assert tokenize("cart_3 item2") == ["cart_3", "item2"]
+
+    def test_empty(self):
+        assert tokenize("...") == []
+
+
+class TestEntityVocabulary:
+    def test_basic_extraction(self):
+        vocab = EntityVocabulary(["refund", "cart"])
+        counts = vocab.extract("my refund for the cart refund")
+        assert counts == {"refund": 2, "cart": 1}
+
+    def test_case_insensitive(self):
+        vocab = EntityVocabulary(["Outlook"])
+        assert vocab.extract("OUTLOOK crashed") == {"Outlook": 1}
+
+    def test_multiword_longest_match(self):
+        vocab = EntityVocabulary(["send", "send message"])
+        counts = vocab.extract("please send message now, then send")
+        assert counts == {"send message": 1, "send": 1}
+
+    def test_no_overlapping_matches(self):
+        vocab = EntityVocabulary(["send message", "message queue"])
+        counts = vocab.extract("send message queue")
+        # "send message" consumes "message"; "queue" alone matches nothing.
+        assert counts == {"send message": 1}
+
+    def test_unknown_tokens_ignored(self):
+        vocab = EntityVocabulary(["refund"])
+        assert vocab.extract("totally unrelated text") == {}
+
+    def test_contains_and_len(self):
+        vocab = EntityVocabulary(["refund", "cart"])
+        assert "refund" in vocab
+        assert "REFUND" in vocab
+        assert "ghost" not in vocab
+        assert len(vocab) == 2
+
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(CorpusError):
+            EntityVocabulary([])
+
+    def test_tokenless_entity_rejected(self):
+        with pytest.raises(CorpusError):
+            EntityVocabulary(["!!!"])
+
+    def test_colliding_entities_rejected(self):
+        with pytest.raises(CorpusError):
+            EntityVocabulary(["Send-Message", "send message"])
+
+    def test_extract_many(self):
+        vocab = EntityVocabulary(["a1", "b2"])
+        results = vocab.extract_many(["a1 b2", "b2 b2"])
+        assert results[0] == {"a1": 1, "b2": 1}
+        assert results[1] == {"b2": 2}
+
+
+class TestHelpdeskCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_helpdesk_corpus(
+            num_topics=4,
+            entities_per_topic=6,
+            docs_per_topic=3,
+            num_train_questions=20,
+            num_test_questions=10,
+            seed=5,
+        )
+
+    def test_shapes(self, corpus):
+        assert len(corpus.topics) == 4
+        assert len(corpus.documents) == 12
+        assert len(corpus.train_pairs) <= 20
+        assert len(corpus.test_pairs) <= 10
+        assert len(corpus.vocabulary) == 24
+
+    def test_documents_have_entities(self, corpus):
+        for doc in corpus.documents:
+            assert corpus.vocabulary.extract(doc.text), doc.doc_id
+
+    def test_documents_focus_on_their_topic(self, corpus):
+        for doc in corpus.documents:
+            counts = corpus.vocabulary.extract(doc.text)
+            own = sum(
+                c for e, c in counts.items() if e in corpus.topics[doc.topic]
+            )
+            assert own == sum(counts.values())  # docs only use own-topic terms
+
+    def test_questions_reference_existing_docs(self, corpus):
+        doc_ids = {doc.doc_id for doc in corpus.documents}
+        for pair in corpus.train_pairs + corpus.test_pairs:
+            assert pair.best_doc in doc_ids
+
+    def test_questions_mostly_match_their_doc_topic(self, corpus):
+        doc_by_id = {doc.doc_id: doc for doc in corpus.documents}
+        matched = 0
+        total = 0
+        for pair in corpus.train_pairs:
+            counts = corpus.vocabulary.extract(pair.text)
+            if not counts:
+                continue
+            topic = doc_by_id[pair.best_doc].topic
+            own = sum(c for e, c in counts.items() if e in corpus.topics[topic])
+            total += sum(counts.values())
+            matched += own
+        assert matched / total > 0.6  # cross-topic noise is the minority
+
+    def test_deterministic(self):
+        c1 = generate_helpdesk_corpus(num_topics=3, entities_per_topic=4, seed=9)
+        c2 = generate_helpdesk_corpus(num_topics=3, entities_per_topic=4, seed=9)
+        assert [d.text for d in c1.documents] == [d.text for d in c2.documents]
+        assert [p.text for p in c1.train_pairs] == [p.text for p in c2.train_pairs]
+
+    def test_document_texts_mapping(self, corpus):
+        texts = corpus.document_texts()
+        assert len(texts) == len(corpus.documents)
+        assert texts[corpus.documents[0].doc_id] == corpus.documents[0].text
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CorpusError):
+            generate_helpdesk_corpus(num_topics=1)
+        with pytest.raises(CorpusError):
+            generate_helpdesk_corpus(docs_per_topic=0)
+
+    def test_many_topics_fall_back_to_generic_names(self):
+        corpus = generate_helpdesk_corpus(
+            num_topics=20, entities_per_topic=2, docs_per_topic=1,
+            num_train_questions=2, num_test_questions=1, seed=0,
+        )
+        assert len(corpus.topics) == 20

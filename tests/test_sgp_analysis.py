@@ -1,0 +1,83 @@
+"""Unit tests for SGP program diagnostics."""
+
+import pytest
+
+from repro.graph import AugmentedGraph, WeightedDiGraph
+from repro.optimize.encoder import encode_votes
+from repro.sgp import SGPProblem, Signomial
+from repro.sgp.analysis import ProgramStats, analyze_program, estimated_constraint_cost
+from repro.votes import Vote
+
+
+def small_problem():
+    problem = SGPProblem([0.5, 0.5, 0.5])
+    problem.add_constraint(
+        Signomial.from_terms([(1.0, {0: 2, 1: 1}), (-1.0, {2: 1})])
+    )
+    problem.add_constraint(Signomial.from_terms([(2.0, {0: 1}), (3.0, {1: 1})]))
+    return problem
+
+
+class TestAnalyzeProgram:
+    def test_counts(self):
+        stats = analyze_program(small_problem())
+        assert stats.num_vars == 3
+        assert stats.num_constraints == 2
+        assert stats.total_terms == 4
+        assert stats.max_terms_per_constraint == 2
+        assert stats.mean_terms_per_constraint == 2.0
+
+    def test_degree_and_posynomials(self):
+        stats = analyze_program(small_problem())
+        assert stats.max_degree == 3.0  # x0^2 x1
+        assert stats.num_posynomial_constraints == 1  # second constraint only
+
+    def test_variables_used(self):
+        stats = analyze_program(small_problem())
+        assert stats.variables_used == 3
+
+    def test_empty_program(self):
+        stats = analyze_program(SGPProblem([0.5]))
+        assert stats.num_constraints == 0
+        assert stats.total_terms == 0
+        assert stats.max_terms_per_constraint == 0
+
+    def test_as_row(self):
+        assert len(analyze_program(small_problem()).as_row()) == 8
+
+    def test_terms_grow_with_path_length(self):
+        """The O(d^L) encoding growth is visible in the diagnostics."""
+        kg = WeightedDiGraph.from_edges(
+            [
+                ("a", "b", 0.4), ("a", "c", 0.4),
+                ("b", "a", 0.4), ("b", "c", 0.4),
+                ("c", "a", 0.4), ("c", "b", 0.4),
+            ],
+            strict=False,
+        )
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"a": 1})
+        aug.add_answer("x1", {"b": 1})
+        aug.add_answer("x2", {"c": 1})
+        vote = Vote("q", ("x1", "x2"), "x2")
+        totals = []
+        for length in (3, 4, 5, 6):
+            encoded = encode_votes(
+                aug, [vote], use_deviations=False, max_length=length
+            )
+            totals.append(analyze_program(encoded.problem).total_terms)
+        assert totals == sorted(totals)
+        assert totals[-1] > totals[0] * 2
+
+
+class TestEstimatedCost:
+    def test_formula(self):
+        assert estimated_constraint_cost(3.0, 4, 10) == pytest.approx(10 * 81.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimated_constraint_cost(-1.0, 3, 5)
+        with pytest.raises(ValueError):
+            estimated_constraint_cost(2.0, 0, 5)
+        with pytest.raises(ValueError):
+            estimated_constraint_cost(2.0, 3, 0)

@@ -1,0 +1,77 @@
+"""Unit + property tests for batched inverse P-distance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NodeNotFoundError
+from repro.graph import AugmentedGraph, random_digraph
+from repro.similarity import inverse_pdistance
+from repro.similarity.inverse_pdistance import inverse_pdistance_batch
+
+
+def build(seed=3, n=15, num_queries=4, num_answers=5):
+    import numpy as np
+
+    kg = random_digraph(n, 2.5, seed=seed, out_mass=0.9)
+    aug = AugmentedGraph(kg)
+    labels = sorted(kg.nodes())
+    rng = np.random.default_rng(seed + 1)
+    for a in range(num_answers):
+        picks = rng.choice(len(labels), size=2, replace=False)
+        aug.add_answer(f"ans{a}", {labels[int(i)]: 1 for i in picks})
+    for q in range(num_queries):
+        picks = rng.choice(len(labels), size=2, replace=False)
+        aug.add_query(f"qry{q}", {labels[int(i)]: 1 for i in picks})
+    return aug
+
+
+class TestBatch:
+    def test_matches_per_query_evaluation(self):
+        aug = build()
+        queries = sorted(aug.query_nodes)
+        answers = sorted(aug.answer_nodes)
+        batch = inverse_pdistance_batch(aug.graph, queries, answers)
+        for query in queries:
+            single = inverse_pdistance(aug.graph, query, answers)
+            for answer in answers:
+                assert batch[query][answer] == pytest.approx(
+                    single[answer], rel=1e-12, abs=1e-15
+                )
+
+    def test_empty_sources(self):
+        aug = build()
+        assert inverse_pdistance_batch(aug.graph, [], ["ans0"]) == {}
+
+    def test_missing_nodes(self):
+        aug = build()
+        with pytest.raises(NodeNotFoundError):
+            inverse_pdistance_batch(aug.graph, ["ghost"], ["ans0"])
+        with pytest.raises(NodeNotFoundError):
+            inverse_pdistance_batch(aug.graph, ["qry0"], ["ghost"])
+
+    def test_bad_length(self):
+        aug = build()
+        with pytest.raises(ValueError):
+            inverse_pdistance_batch(aug.graph, ["qry0"], ["ans0"], max_length=0)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        length=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_property_batch_equals_single(self, seed, length):
+        aug = build(seed=seed)
+        queries = sorted(aug.query_nodes)
+        answers = sorted(aug.answer_nodes)
+        batch = inverse_pdistance_batch(
+            aug.graph, queries, answers, max_length=length
+        )
+        query = queries[seed % len(queries)]
+        single = inverse_pdistance(
+            aug.graph, query, answers, max_length=length
+        )
+        for answer in answers:
+            assert batch[query][answer] == pytest.approx(
+                single[answer], rel=1e-12, abs=1e-15
+            )

@@ -1,0 +1,95 @@
+"""Unit tests for SimRank."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConvergenceError, NodeNotFoundError
+from repro.graph import WeightedDiGraph, random_digraph
+from repro.similarity.simrank import simrank, simrank_matrix
+
+
+@pytest.fixture
+def citation_graph():
+    """Classic SimRank example: two 'papers' cited by the same source."""
+    return WeightedDiGraph.from_edges(
+        [
+            ("src", "a", 0.5),
+            ("src", "b", 0.5),
+            ("other", "c", 1.0),
+        ],
+        strict=False,
+    )
+
+
+class TestSimRank:
+    def test_self_similarity_is_one(self, citation_graph):
+        matrix, index = simrank_matrix(citation_graph)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_shared_referencer_gives_similarity(self, citation_graph):
+        # a and b are both referenced by src: similar.
+        assert simrank(citation_graph, "a", "b") == pytest.approx(0.8)
+
+    def test_unrelated_nodes_score_zero(self, citation_graph):
+        assert simrank(citation_graph, "a", "c") == 0.0
+
+    def test_no_inlinks_score_zero(self, citation_graph):
+        # src and other have no in-links at all.
+        assert simrank(citation_graph, "src", "other") == 0.0
+
+    def test_symmetry(self):
+        graph = random_digraph(15, 2.5, seed=4)
+        matrix, _ = simrank_matrix(graph)
+        assert np.allclose(matrix, matrix.T, atol=1e-9)
+
+    def test_scores_in_unit_interval(self):
+        graph = random_digraph(15, 2.5, seed=5)
+        matrix, _ = simrank_matrix(graph)
+        assert matrix.min() >= -1e-12
+        assert matrix.max() <= 1.0 + 1e-12
+
+    def test_decay_lowers_offdiagonal(self, citation_graph):
+        low = simrank(citation_graph, "a", "b", decay=0.4)
+        high = simrank(citation_graph, "a", "b", decay=0.9)
+        assert low < high
+
+    def test_weights_matter(self):
+        balanced = WeightedDiGraph.from_edges(
+            [("s", "a", 0.5), ("s", "b", 0.5), ("t", "a", 0.5)], strict=False
+        )
+        skewed = WeightedDiGraph.from_edges(
+            [("s", "a", 0.1), ("s", "b", 0.9), ("t", "a", 0.9)], strict=False
+        )
+        assert simrank(balanced, "a", "b") != pytest.approx(
+            simrank(skewed, "a", "b")
+        )
+
+    def test_empty_graph(self):
+        matrix, index = simrank_matrix(WeightedDiGraph())
+        assert matrix.shape == (0, 0)
+        assert index == {}
+
+    def test_missing_node_raises(self, citation_graph):
+        with pytest.raises(NodeNotFoundError):
+            simrank(citation_graph, "ghost", "a")
+
+    def test_convergence_error_on_tiny_budget(self):
+        graph = random_digraph(10, 2.0, seed=6)
+        with pytest.raises(ConvergenceError):
+            simrank_matrix(graph, max_iter=1, tol=1e-12)
+
+    def test_bad_decay(self, citation_graph):
+        with pytest.raises(ValueError):
+            simrank_matrix(citation_graph, decay=1.0)
+
+    def test_ranking_differs_from_ppr_family(self):
+        """SimRank is reference-based: it can rate nodes similar that a
+        walk-probability measure scores zero (no path between them)."""
+        graph = WeightedDiGraph.from_edges(
+            [("src", "a", 0.5), ("src", "b", 0.5)], strict=False
+        )
+        from repro.similarity import inverse_pdistance
+
+        walk_score = inverse_pdistance(graph, "a", ["b"], max_length=5)["b"]
+        assert walk_score == 0.0  # no a -> b path
+        assert simrank(graph, "a", "b") > 0.0  # shared referencer

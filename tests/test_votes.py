@@ -1,0 +1,231 @@
+"""Unit tests for vote types, simulation, and feasibility filtering."""
+
+import pytest
+
+from repro.errors import VoteError
+from repro.graph import AugmentedGraph, WeightedDiGraph, helpdesk_graph, random_digraph
+from repro.graph.generators import perturb_weights
+from repro.votes import (
+    GroundTruthOracle,
+    Vote,
+    VoteSet,
+    filter_feasible,
+    generate_synthetic_votes,
+    generate_votes_from_oracle,
+    is_vote_feasible,
+)
+
+
+def build_augmented(seed=0, num_queries=6, num_answers=10):
+    """Helpdesk KG with randomly attached queries and answers."""
+    kg, topics = helpdesk_graph(num_topics=4, entities_per_topic=8, seed=seed)
+    aug = AugmentedGraph(kg)
+    entities = [e for members in topics.values() for e in members]
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    for i in range(num_answers):
+        picks = rng.choice(len(entities), size=3, replace=False)
+        aug.add_answer(f"a{i}", {entities[int(p)]: 1 for p in picks})
+    for i in range(num_queries):
+        picks = rng.choice(len(entities), size=2, replace=False)
+        aug.add_query(f"q{i}", {entities[int(p)]: 1 for p in picks})
+    return aug
+
+
+class TestVote:
+    def test_positive_vote(self):
+        vote = Vote("q", ("a", "b", "c"), "a")
+        assert vote.is_positive and not vote.is_negative
+        assert vote.best_rank == 1
+
+    def test_negative_vote(self):
+        vote = Vote("q", ("a", "b", "c"), "c")
+        assert vote.is_negative
+        assert vote.best_rank == 3
+        assert vote.k == 3
+
+    def test_others_excludes_best(self):
+        vote = Vote("q", ("a", "b", "c"), "b")
+        assert vote.others() == ("a", "c")
+
+    def test_best_must_be_in_list(self):
+        with pytest.raises(VoteError):
+            Vote("q", ("a", "b"), "z")
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(VoteError):
+            Vote("q", (), "a")
+
+    def test_duplicate_answers_rejected(self):
+        with pytest.raises(VoteError):
+            Vote("q", ("a", "a", "b"), "a")
+
+    def test_frozen(self):
+        vote = Vote("q", ("a", "b"), "a")
+        with pytest.raises(AttributeError):
+            vote.best_answer = "b"
+
+
+class TestVoteSet:
+    def test_partitions(self):
+        votes = VoteSet.from_iterable(
+            [
+                Vote("q1", ("a", "b"), "a"),
+                Vote("q2", ("a", "b"), "b"),
+                Vote("q3", ("a", "b"), "b"),
+            ]
+        )
+        assert votes.num_positive == 1
+        assert votes.num_negative == 2
+        assert len(votes.negative) == 2
+        assert votes.negative[0].query == "q2"
+
+    def test_add_validates_type(self):
+        votes = VoteSet()
+        with pytest.raises(VoteError):
+            votes.add("not a vote")
+
+    def test_subset(self):
+        votes = VoteSet.from_iterable(
+            [Vote(f"q{i}", ("a", "b"), "a") for i in range(5)]
+        )
+        sub = votes.subset([0, 3])
+        assert [v.query for v in sub] == ["q0", "q3"]
+
+    def test_iteration_and_indexing(self):
+        vote = Vote("q", ("a",), "a")
+        votes = VoteSet([vote])
+        assert list(votes) == [vote]
+        assert votes[0] is vote
+        assert len(votes) == 1
+
+    def test_queries(self):
+        votes = VoteSet.from_iterable(
+            [Vote("q1", ("a",), "a"), Vote("q1", ("a",), "a")]
+        )
+        assert votes.queries() == ["q1", "q1"]
+
+
+class TestSyntheticVotes:
+    def test_counts_and_kinds(self):
+        aug = build_augmented()
+        votes = generate_synthetic_votes(aug, k=5, negative_fraction=0.5, seed=1)
+        assert len(votes) == len(aug.query_nodes)
+        for vote in votes:
+            assert vote.query in aug.query_nodes
+            assert set(vote.ranked_answers) <= aug.answer_nodes
+            assert vote.k <= 5
+
+    def test_all_negative(self):
+        aug = build_augmented()
+        votes = generate_synthetic_votes(aug, k=5, negative_fraction=1.0, seed=2)
+        assert votes.num_positive == 0
+        assert all(v.best_rank >= 2 for v in votes)
+
+    def test_all_positive(self):
+        aug = build_augmented()
+        votes = generate_synthetic_votes(aug, k=5, negative_fraction=0.0, seed=2)
+        assert votes.num_negative == 0
+
+    def test_average_negative_position(self):
+        aug = build_augmented(num_queries=40, num_answers=30)
+        votes = generate_synthetic_votes(
+            aug, k=20, negative_fraction=1.0, avg_negative_position=6, seed=3
+        )
+        ranks = [v.best_rank for v in votes]
+        assert 4.0 <= sum(ranks) / len(ranks) <= 8.0
+
+    def test_deterministic_with_seed(self):
+        aug = build_augmented()
+        v1 = generate_synthetic_votes(aug, k=5, seed=7)
+        v2 = generate_synthetic_votes(aug, k=5, seed=7)
+        assert [v.best_answer for v in v1] == [v.best_answer for v in v2]
+
+    def test_bad_parameters(self):
+        aug = build_augmented()
+        with pytest.raises(ValueError):
+            generate_synthetic_votes(aug, negative_fraction=1.5)
+        with pytest.raises(VoteError):
+            generate_synthetic_votes(aug, avg_negative_position=1)
+
+
+class TestOracleVotes:
+    def test_oracle_votes_match_ground_truth(self):
+        aug = build_augmented(seed=5)
+        # The "truth" is a perturbed copy: its rankings differ, so some
+        # votes come out negative.
+        truth = aug.copy()
+        noisy_kg = perturb_weights(truth.kg_view(), noise=1.5, seed=9)
+        for edge in noisy_kg.edges():
+            truth.set_kg_weight(edge.head, edge.tail, edge.weight)
+        oracle = GroundTruthOracle(truth)
+        votes = generate_votes_from_oracle(aug, oracle, k=6, seed=11)
+        assert len(votes) == len(aug.query_nodes)
+        for vote in votes:
+            expected = oracle(vote.query, vote.ranked_answers)
+            assert vote.best_answer == expected
+
+    def test_error_rate_corrupts_votes(self):
+        aug = build_augmented(seed=5)
+        oracle = GroundTruthOracle(aug)  # truth == current: all positive
+        clean = generate_votes_from_oracle(aug, oracle, k=6, error_rate=0.0, seed=1)
+        noisy = generate_votes_from_oracle(aug, oracle, k=6, error_rate=1.0, seed=1)
+        assert clean.num_negative == 0
+        assert noisy.num_negative == len(noisy)
+
+    def test_bad_oracle_rejected(self):
+        aug = build_augmented(seed=5)
+        with pytest.raises(VoteError):
+            generate_votes_from_oracle(aug, lambda q, c: "nonexistent", k=4)
+
+
+class TestFeasibility:
+    def test_positive_votes_always_feasible(self):
+        aug = build_augmented()
+        votes = generate_synthetic_votes(aug, k=5, negative_fraction=0.0, seed=4)
+        for vote in votes:
+            assert is_vote_feasible(aug, vote)
+
+    def test_unreachable_best_answer_infeasible(self):
+        kg = WeightedDiGraph.from_edges([("x", "y", 0.5)], strict=False)
+        kg.add_node("z")
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"x": 1})
+        aug.add_answer("a_good", {"y": 1})
+        aug.add_answer("a_island", {"z": 1})  # z unreachable from x
+        vote = Vote("q", ("a_good", "a_island"), "a_island")
+        assert not is_vote_feasible(aug, vote, max_length=4)
+
+    def test_reachable_swap_feasible(self):
+        kg = WeightedDiGraph.from_edges(
+            [("x", "y", 0.7), ("x", "z", 0.2)], strict=False
+        )
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"x": 1})
+        aug.add_answer("a1", {"y": 1})
+        aug.add_answer("a2", {"z": 1})
+        # a1 currently wins (0.7 vs 0.2); voting a2 best is feasible
+        # because boosting x->z and cutting x->y flips the order.
+        vote = Vote("q", ("a1", "a2"), "a2")
+        assert is_vote_feasible(aug, vote, max_length=3)
+
+    def test_filter_feasible_partitions(self):
+        kg = WeightedDiGraph.from_edges([("x", "y", 0.5)], strict=False)
+        kg.add_node("z")
+        aug = AugmentedGraph(kg)
+        aug.add_query("q", {"x": 1})
+        aug.add_answer("a_good", {"y": 1})
+        aug.add_answer("a_island", {"z": 1})
+        good = Vote("q", ("a_good", "a_island"), "a_good")  # positive
+        bad = Vote("q", ("a_good", "a_island"), "a_island")  # impossible
+        kept, discarded = filter_feasible(aug, VoteSet([good, bad]))
+        assert [v.best_answer for v in kept] == ["a_good"]
+        assert [v.best_answer for v in discarded] == ["a_island"]
+
+    def test_bad_shared_weight(self):
+        aug = build_augmented()
+        vote = Vote("q0", tuple(sorted(aug.answer_nodes, key=repr)[:3]),
+                    sorted(aug.answer_nodes, key=repr)[1])
+        with pytest.raises(ValueError):
+            is_vote_feasible(aug, vote, shared_weight=1.0)

@@ -1,0 +1,107 @@
+"""Tests for trust-weighted votes across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SGPModelError, VoteError
+from repro.graph import AugmentedGraph, WeightedDiGraph
+from repro.optimize import merge_changes, solve_multi_vote
+from repro.optimize.encoder import encode_votes
+from repro.optimize.objectives import sigmoid_deviation_objective
+from repro.similarity import inverse_pdistance
+from repro.votes import Vote, VoteSet
+
+
+@pytest.fixture
+def tug_of_war():
+    """Two answers, two user camps voting in opposite directions."""
+    kg = WeightedDiGraph.from_edges(
+        [("x", "y", 0.45), ("x", "z", 0.45)], strict=False
+    )
+    aug = AugmentedGraph(kg)
+    aug.add_query("q", {"x": 1})
+    aug.add_answer("a1", {"y": 1})
+    aug.add_answer("a2", {"z": 1})
+    return aug
+
+
+class TestVoteWeightField:
+    def test_default_weight(self):
+        assert Vote("q", ("a",), "a").weight == 1.0
+
+    def test_custom_weight(self):
+        vote = Vote("q", ("a",), "a", weight=4.0)
+        assert vote.weight == 4.0
+
+    def test_invalid_weight(self):
+        with pytest.raises(VoteError):
+            Vote("q", ("a",), "a", weight=0.0)
+        with pytest.raises(VoteError):
+            Vote("q", ("a",), "a", weight=float("nan"))
+
+    def test_total_weight(self):
+        votes = VoteSet([
+            Vote("q1", ("a",), "a", weight=2.0),
+            Vote("q2", ("a",), "a"),
+        ])
+        assert votes.total_weight == 3.0
+
+
+class TestWeightedObjective:
+    def test_weights_scale_penalty(self):
+        obj = sigmoid_deviation_objective(
+            [0, 1], 2, shift=1.0, w=300, weights=[3.0, 1.0]
+        )
+        # Both deviations saturated positive: penalty = 3 + 1.
+        x = np.array([2.0, 2.0])
+        assert obj.value(x) == pytest.approx(4.0, abs=1e-6)
+
+    def test_weight_validation(self):
+        with pytest.raises(SGPModelError):
+            sigmoid_deviation_objective([0], 1, weights=[1.0, 2.0])
+        with pytest.raises(SGPModelError):
+            sigmoid_deviation_objective([0], 1, weights=[-1.0])
+
+    def test_encoder_exposes_constraint_weights(self, tug_of_war):
+        heavy = Vote("q", ("a1", "a2"), "a2", weight=5.0)
+        light = Vote("q", ("a1", "a2"), "a1", weight=1.0)
+        encoded = encode_votes(tug_of_war, [heavy, light], use_deviations=True)
+        assert sorted(encoded.constraint_weights) == [1.0, 5.0]
+
+
+class TestWeightedOptimization:
+    def test_heavier_camp_wins_conflict(self, tug_of_war):
+        """Five trusted users beat one, all else equal."""
+        prefer_a2 = Vote("q", ("a1", "a2"), "a2", weight=5.0)
+        prefer_a1 = Vote("q", ("a1", "a2"), "a1", weight=1.0)
+        optimized, report = solve_multi_vote(
+            tug_of_war, [prefer_a2, prefer_a1],
+            feasibility_filter=False,
+        )
+        scores = inverse_pdistance(optimized.graph, "q", ["a1", "a2"])
+        assert scores["a2"] > scores["a1"]
+
+    def test_reversed_weights_reverse_outcome(self, tug_of_war):
+        prefer_a2 = Vote("q", ("a1", "a2"), "a2", weight=1.0)
+        prefer_a1 = Vote("q", ("a1", "a2"), "a1", weight=5.0)
+        optimized, _ = solve_multi_vote(
+            tug_of_war, [prefer_a2, prefer_a1],
+            feasibility_filter=False,
+        )
+        scores = inverse_pdistance(optimized.graph, "q", ["a1", "a2"])
+        assert scores["a1"] > scores["a2"]
+
+
+class TestWeightedMerge:
+    def test_float_weights_accepted(self):
+        merged = merge_changes([
+            ({"e": -0.01}, 2.5),
+            ({"e": 0.03}, 2.0),
+        ])
+        # Weighted sum 2.5*(-0.01) + 2*0.03 = +0.035 > 0 -> max.
+        assert merged["e"] == pytest.approx(0.03)
+
+    def test_trust_tips_the_sign(self):
+        light_positive = [({"e": 0.05}, 1.0), ({"e": -0.02}, 10.0)]
+        merged = merge_changes(light_positive)
+        assert merged["e"] == pytest.approx(-0.02)
