@@ -1,0 +1,129 @@
+"""Serving throughput — the engine vs the rebuild-per-call seed path.
+
+The seed ``QASystem.ask()`` rebuilt the full CSR adjacency matrix from
+the graph's Python dicts on every question; the
+:class:`~repro.serving.engine.SimilarityEngine` builds it once and keeps
+it current incrementally, with an LRU of score vectors on top.  This
+bench replays 500 ``ask()`` calls cycling through a fixed question pool
+against a ~5k-edge graph under both configurations (scores are bitwise
+identical either way) and asserts the engine path is at least 5× faster.
+It also measures :meth:`QASystem.ask_many`, which shares one stacked
+propagation across a whole batch.
+"""
+
+import time
+
+from conftest import report
+
+import numpy as np
+
+from repro.graph.generators import random_digraph
+from repro.qa import EntityVocabulary, QASystem
+from repro.serving import SimilarityParams
+from repro.utils.tables import format_table
+
+NUM_NODES = 1_250
+AVG_DEGREE = 4.0
+NUM_DOCS = 60
+NUM_QUESTIONS = 25
+NUM_ASKS = 500
+PARAMS = SimilarityParams(k=8, max_length=5)
+
+
+def _build_system(*, use_engine):
+    kg = random_digraph(NUM_NODES, AVG_DEGREE, seed=17, out_mass=0.9)
+    nodes = sorted(kg.nodes())
+    vocabulary = EntityVocabulary(nodes)
+    system = QASystem(kg, vocabulary, params=PARAMS, use_engine=use_engine)
+    rng = np.random.default_rng(23)
+    documents = {}
+    for d in range(NUM_DOCS):
+        picks = rng.choice(len(nodes), size=3, replace=False)
+        documents[f"doc{d}"] = " ".join(nodes[int(p)] for p in picks)
+    system.add_documents(documents)
+    rng = np.random.default_rng(29)
+    questions = []
+    for _ in range(NUM_QUESTIONS):
+        picks = rng.choice(len(nodes), size=2, replace=False)
+        questions.append(" ".join(nodes[int(p)] for p in picks))
+    return kg, system, questions
+
+
+def _ask_loop(system, questions):
+    start = time.perf_counter()
+    answers = []
+    for i in range(NUM_ASKS):
+        question = questions[i % len(questions)]
+        answers.append(
+            system.ask(question, question_id=f"bench_q{i % len(questions)}")
+        )
+    return time.perf_counter() - start, answers
+
+
+def bench_serving_throughput(benchmark):
+    results = {}
+
+    def run_all():
+        kg, cold_system, questions = _build_system(use_engine=False)
+        cold_time, cold_answers = _ask_loop(cold_system, questions)
+
+        kg2, engine_system, _ = _build_system(use_engine=True)
+        assert kg.num_edges == kg2.num_edges
+        engine_time, engine_answers = _ask_loop(engine_system, questions)
+
+        # Same questions, same graph: the answers must agree bitwise.
+        assert engine_answers == cold_answers
+
+        batch = {
+            f"batch_q{i}": q
+            for _ in range(NUM_ASKS // NUM_QUESTIONS)
+            for i, q in enumerate(questions)
+        }
+        start = time.perf_counter()
+        for _ in range(NUM_ASKS // NUM_QUESTIONS):
+            engine_system.ask_many(batch)
+        batch_time = time.perf_counter() - start
+
+        results.update(
+            num_edges=kg.num_edges,
+            cold_time=cold_time,
+            engine_time=engine_time,
+            batch_time=batch_time,
+            stats=engine_system.serving_stats(),
+        )
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    cold_time = results["cold_time"]
+    engine_time = results["engine_time"]
+    batch_time = results["batch_time"]
+    stats = results["stats"]
+    speedup = cold_time / engine_time
+    rows = [
+        ["rebuild per call (seed)", f"{cold_time:.3f}s",
+         f"{NUM_ASKS / cold_time:.0f}", "1.0x"],
+        ["SimilarityEngine", f"{engine_time:.3f}s",
+         f"{NUM_ASKS / engine_time:.0f}", f"{speedup:.1f}x"],
+        ["ask_many (batched)", f"{batch_time:.3f}s",
+         f"{NUM_ASKS / batch_time:.0f}", f"{cold_time / batch_time:.1f}x"],
+    ]
+    report(
+        format_table(
+            ["serving path", "500 asks", "q/s", "speedup"],
+            rows,
+            title=(
+                f"Serving throughput on a {results['num_edges']}-edge graph "
+                f"(engine: {stats.builds} build(s), "
+                f"{stats.cache_hits} cache hits, "
+                f"{stats.rebuilds_avoided} rebuilds avoided)"
+            ),
+        )
+    )
+
+    assert speedup >= 5.0, (
+        f"engine serving should be ≥5x the rebuild-per-call path, "
+        f"got {speedup:.1f}x ({engine_time:.3f}s vs {cold_time:.3f}s)"
+    )
+    assert stats.builds == 1  # the matrix was built exactly once
+    assert stats.cache_hits > 0  # repeated questions hit the LRU

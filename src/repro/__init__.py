@@ -9,17 +9,20 @@ geometric program over a truncated Personalized-PageRank similarity
 Quick start::
 
     from repro import (
-        generate_helpdesk_corpus, build_knowledge_graph, QASystem,
+        generate_helpdesk_corpus, build_knowledge_graph,
+        QASystem, SimilarityParams,
     )
 
     corpus = generate_helpdesk_corpus(seed=0)
     kg = build_knowledge_graph(corpus.document_texts(), corpus.vocabulary)
-    system = QASystem(kg, corpus.vocabulary, k=10)
+    system = QASystem(kg, corpus.vocabulary, params=SimilarityParams(k=10))
     system.add_documents(corpus.document_texts())
 
     answers = system.ask("refund_0 not arriving", question_id="q0")
     system.vote("q0", best_doc=answers[2][0])   # a negative vote
     report = system.optimize(strategy="multi")  # adjust edge weights
+    print(report.summary())
+    print(system.serving_stats())               # engine cache counters
 
 See DESIGN.md for the architecture and EXPERIMENTS.md for the
 reproduced tables and figures.
@@ -61,6 +64,7 @@ from repro.qa import (
 )
 from repro.eval import evaluate_test_set
 from repro.eval.harness import vote_omega_avg
+from repro.serving import EngineStats, SimilarityEngine, SimilarityParams
 
 __version__ = "1.0.0"
 
@@ -91,5 +95,8 @@ __all__ = [
     "ir_rank",
     "evaluate_test_set",
     "vote_omega_avg",
+    "SimilarityParams",
+    "SimilarityEngine",
+    "EngineStats",
     "__version__",
 ]

@@ -15,9 +15,8 @@ from repro.eval.metrics import (
 )
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
+from repro.serving.params import SimilarityParams
 from repro.similarity.inverse_pdistance import (
-    DEFAULT_MAX_LENGTH,
-    DEFAULT_RESTART_PROB,
     inverse_pdistance,
     inverse_pdistance_batch,
 )
@@ -25,26 +24,51 @@ from repro.similarity.top_k import rank_position, scores_to_ranked_list
 from repro.votes.types import Vote, VoteSet
 
 
+def _walk_params(params, max_length, restart_prob) -> SimilarityParams:
+    """Accept either ``params`` or the bare pair (not deprecated here)."""
+    if params is not None:
+        if max_length is not None or restart_prob is not None:
+            raise TypeError(
+                "pass either params or max_length/restart_prob, not both"
+            )
+        return params
+    changes = {}
+    if max_length is not None:
+        changes["max_length"] = max_length
+    if restart_prob is not None:
+        changes["restart_prob"] = restart_prob
+    return SimilarityParams(**changes)
+
+
 def rerank_vote(
     aug: AugmentedGraph,
     vote: Vote,
     *,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
+    params: "SimilarityParams | None" = None,
+    engine=None,
 ) -> int:
     """The rank of a vote's best answer under the *current* graph.
 
     The re-ranking is computed over the vote's shown answer list (the
     same candidate set the user judged), matching Definition 3's
-    ``rank'_t``.
+    ``rank'_t``.  With ``engine``
+    (:class:`~repro.serving.engine.SimilarityEngine`), scores come from
+    the cached incremental matrix instead of a cold rebuild.
     """
-    scores = inverse_pdistance(
-        aug.graph,
-        vote.query,
-        vote.ranked_answers,
-        max_length=max_length,
-        restart_prob=restart_prob,
-    )
+    params = _walk_params(params, max_length, restart_prob)
+    if engine is not None:
+        scores = engine.scores_for_query(
+            vote.query, vote.ranked_answers, params=params
+        )
+    else:
+        scores = inverse_pdistance(
+            aug.graph,
+            vote.query,
+            vote.ranked_answers,
+            params=params,
+        )
     ranked = scores_to_ranked_list(scores)
     return rank_position(ranked, vote.best_answer)
 
@@ -53,22 +77,23 @@ def vote_omega_avg(
     aug_after: AugmentedGraph,
     votes: "VoteSet | Sequence[Vote]",
     *,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
+    params: "SimilarityParams | None" = None,
+    engine=None,
 ) -> float:
     """``Ω_avg`` of a vote set under the optimized graph (Eq. 21).
 
     ``rank_t`` comes from each vote's recorded shown list (the ranking
     at vote time); ``rank'_t`` is recomputed on ``aug_after``.
     """
+    params = _walk_params(params, max_length, restart_prob)
     vote_list = list(votes)
     if not vote_list:
         raise EvaluationError("Ω_avg of zero votes is undefined")
     before = [v.best_rank for v in vote_list]
     after = [
-        rerank_vote(
-            aug_after, v, max_length=max_length, restart_prob=restart_prob
-        )
+        rerank_vote(aug_after, v, params=params, engine=engine)
         for v in vote_list
     ]
     return omega_avg(before, after)
@@ -95,8 +120,10 @@ def evaluate_test_set(
     *,
     k_values: Sequence[int] = (1, 3, 5, 10),
     candidates: "Sequence[Node] | None" = None,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
+    params: "SimilarityParams | None" = None,
+    engine=None,
 ) -> EvaluationResult:
     """Rank every test query and compute the paper's quality metrics.
 
@@ -112,6 +139,13 @@ def evaluate_test_set(
         The H@k cutoffs (Table V uses 1, 3, 5, 10).
     candidates:
         The candidate answer pool; all answer nodes by default.
+    params:
+        Similarity parameters
+        (:class:`~repro.serving.params.SimilarityParams`); the bare
+        ``max_length``/``restart_prob`` keywords also still work.
+    engine:
+        Optional :class:`~repro.serving.engine.SimilarityEngine` bound to
+        ``aug``; scoring then reuses its cached adjacency matrix.
 
     Returns
     -------
@@ -119,6 +153,7 @@ def evaluate_test_set(
         With ``R_avg``, MRR, MAP (single-relevant, so AP = 1/rank), and
         ``H@k`` for each requested ``k``.
     """
+    params = _walk_params(params, max_length, restart_prob)
     if not test_pairs:
         raise EvaluationError("empty test set")
     pool = (
@@ -132,13 +167,15 @@ def evaluate_test_set(
                 f"ground-truth answer {best!r} for query {query!r} is not a candidate"
             )
     # One stacked propagation scores every test query at once.
-    all_scores = inverse_pdistance_batch(
-        aug.graph,
-        list(test_pairs),
-        pool,
-        max_length=max_length,
-        restart_prob=restart_prob,
-    )
+    if engine is not None:
+        all_scores = engine.score_batch(list(test_pairs), pool, params=params)
+    else:
+        all_scores = inverse_pdistance_batch(
+            aug.graph,
+            list(test_pairs),
+            pool,
+            params=params,
+        )
     ranks: list[int] = []
     ranked_lists: list[list[Node]] = []
     relevant_sets: list[set[Node]] = []

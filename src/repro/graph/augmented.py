@@ -165,9 +165,23 @@ class AugmentedGraph:
         """The live combined graph (entities + queries + answers).
 
         Mutating this object directly bypasses the role bookkeeping;
-        prefer :meth:`set_kg_weight` for weight updates.
+        prefer :meth:`set_kg_weight` for weight updates.  All mutations
+        routed through this class emit the combined graph's listener
+        events and bump its :attr:`version`, which is what lets
+        :class:`~repro.serving.engine.SimilarityEngine` maintain its
+        cached adjacency matrix incrementally.
         """
         return self._graph
+
+    @property
+    def version(self) -> int:
+        """The combined graph's monotonically increasing mutation version.
+
+        Convenience alias for ``self.graph.version``; any structural or
+        weight change (query/answer attach, optimizer update) bumps it,
+        so it can key caches of anything derived from the graph.
+        """
+        return self._graph.version
 
     def is_kg_edge(self, head: Node, tail: Node) -> bool:
         """Whether ``head -> tail`` is an optimizable entity→entity edge."""

@@ -12,6 +12,15 @@ absorbing sinks).
 The structure is a dict-of-dicts adjacency with a mirrored predecessor
 map, plus an optional cached index/CSR view for the matrix-based
 similarity code (:mod:`repro.similarity.ppr`).
+
+Mutations are observable: every change bumps a monotonically increasing
+:attr:`~WeightedDiGraph.version` (split into
+:attr:`~WeightedDiGraph.structure_version` for sparsity-pattern changes
+and :attr:`~WeightedDiGraph.weight_version` for weight-only updates) and
+is broadcast to registered mutation listeners.  The versioned serving
+layer (:mod:`repro.serving`) uses these hooks to keep a cached sparse
+adjacency matrix incrementally up to date instead of rebuilding it from
+the dicts on every similarity evaluation.
 """
 
 from __future__ import annotations
@@ -78,6 +87,56 @@ class WeightedDiGraph:
         self._num_edges = 0
         self.strict = strict
         self._index_cache: dict[Node, int] | None = None
+        self._structure_version = 0
+        self._weight_version = 0
+        self._listeners: list = []
+
+    # ------------------------------------------------------------------
+    # mutation tracking
+    # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every mutation (structure or weight)."""
+        return self._structure_version + self._weight_version
+
+    @property
+    def structure_version(self) -> int:
+        """Counter bumped by node/edge insertion and removal."""
+        return self._structure_version
+
+    @property
+    def weight_version(self) -> int:
+        """Counter bumped by weight updates on existing edges."""
+        return self._weight_version
+
+    def add_listener(self, callback) -> None:
+        """Register a mutation listener.
+
+        ``callback(event, *args)`` is invoked synchronously after each
+        mutation with one of::
+
+            ("add_node", node)
+            ("add_edge", head, tail, weight)      # new sparsity entry
+            ("update_weight", head, tail, weight) # existing edge re-weighted
+            ("remove_edge", head, tail)
+            ("remove_node", node)
+
+        Listeners must not mutate the graph from inside the callback.
+        ``copy()``/``subgraph()`` clones start with no listeners.
+        """
+        if callback not in self._listeners:
+            self._listeners.append(callback)
+
+    def remove_listener(self, callback) -> None:
+        """Unregister a mutation listener; unknown callbacks are ignored."""
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _emit(self, event: str, *args) -> None:
+        for callback in self._listeners:
+            callback(event, *args)
 
     # ------------------------------------------------------------------
     # construction
@@ -101,6 +160,9 @@ class WeightedDiGraph:
             self._succ[node] = {}
             self._pred[node] = {}
             self._invalidate_index()
+            self._structure_version += 1
+            if self._listeners:
+                self._emit("add_node", node)
 
     def add_edge(self, head: Node, tail: Node, weight: float) -> None:
         """Add edge ``head -> tail``, creating missing endpoints.
@@ -120,10 +182,18 @@ class WeightedDiGraph:
                     f"adding edge {head!r}->{tail!r} with weight {weight} would "
                     f"raise the out-weight sum of {head!r} to {out_sum:.6f} > 1"
                 )
-        if tail not in self._succ[head]:
+        is_new = tail not in self._succ[head]
+        if is_new:
             self._num_edges += 1
         self._succ[head][tail] = float(weight)
         self._pred[tail][head] = float(weight)
+        if is_new:
+            self._structure_version += 1
+        else:
+            self._weight_version += 1
+        if self._listeners:
+            event = "add_edge" if is_new else "update_weight"
+            self._emit(event, head, tail, float(weight))
 
     def remove_edge(self, head: Node, tail: Node) -> None:
         """Remove edge ``head -> tail``; endpoints stay in the graph."""
@@ -132,6 +202,9 @@ class WeightedDiGraph:
         del self._succ[head][tail]
         del self._pred[tail][head]
         self._num_edges -= 1
+        self._structure_version += 1
+        if self._listeners:
+            self._emit("remove_edge", head, tail)
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` along with every incident edge."""
@@ -144,6 +217,9 @@ class WeightedDiGraph:
         del self._succ[node]
         del self._pred[node]
         self._invalidate_index()
+        self._structure_version += 1
+        if self._listeners:
+            self._emit("remove_node", node)
 
     def set_weight(self, head: Node, tail: Node, weight: float) -> None:
         """Update the weight of an existing edge."""
@@ -159,6 +235,9 @@ class WeightedDiGraph:
                 )
         self._succ[head][tail] = float(weight)
         self._pred[tail][head] = float(weight)
+        self._weight_version += 1
+        if self._listeners:
+            self._emit("update_weight", head, tail, float(weight))
 
     def _check_weight(self, head: Node, tail: Node, weight: float) -> None:
         if not math.isfinite(weight) or weight <= 0.0:

@@ -19,6 +19,7 @@ Pipeline (Sections IV–VI):
 """
 
 from repro.optimize.encoder import EncodedProgram, encode_votes
+from repro.optimize.report import OptimizeReport
 from repro.optimize.objectives import (
     combined_objective,
     distance_objective,
@@ -37,6 +38,7 @@ from repro.optimize.parallel import simulated_makespan, solve_clusters_parallel
 __all__ = [
     "EncodedProgram",
     "encode_votes",
+    "OptimizeReport",
     "distance_signomial",
     "distance_objective",
     "sigmoid",

@@ -38,18 +38,23 @@ from repro.optimize.objectives import (
     sigmoid_deviation_objective,
     step_count,
 )
+from repro.optimize.report import OptimizeReport
+from repro.serving.params import SimilarityParams, resolve_similarity_params
 from repro.sgp.solver import SGPSolution, solve_sgp
-from repro.similarity.inverse_pdistance import (
-    DEFAULT_MAX_LENGTH,
-    DEFAULT_RESTART_PROB,
-)
 from repro.votes.feasibility import filter_feasible
 from repro.votes.types import Vote, VoteSet
 
 
 @dataclass
-class MultiVoteReport:
-    """Record of one multi-vote optimization run."""
+class MultiVoteReport(OptimizeReport):
+    """Record of one multi-vote optimization run.
+
+    Extends :class:`~repro.optimize.report.OptimizeReport` (``elapsed``,
+    ``solve_time``, ``changed_edges``, ``summary()``) with the batch
+    SGP's specifics.
+    """
+
+    strategy = "multi-vote"
 
     solution: "SGPSolution | None" = None
     encoded: "EncodedProgram | None" = None
@@ -58,10 +63,8 @@ class MultiVoteReport:
     num_votes_encoded: int = 0
     num_constraints: int = 0
     num_violated_deviations: int = 0
-    elapsed: float = 0.0
     filter_time: float = 0.0
     encode_time: float = 0.0
-    solve_time: float = 0.0
 
     @property
     def num_satisfied_constraints(self) -> int:
@@ -69,6 +72,14 @@ class MultiVoteReport:
         if self.solution is None:
             return 0
         return self.solution.num_satisfied
+
+    def summary(self) -> str:
+        base = super().summary()
+        return (
+            f"{base}; {self.num_satisfied_constraints}/{self.num_constraints} "
+            f"constraints satisfied, {len(self.discarded_votes)} vote(s) "
+            f"discarded"
+        )
 
 
 def solve_multi_vote(
@@ -79,8 +90,9 @@ def solve_multi_vote(
     lambda2: float = 0.5,
     sigmoid_w: float = DEFAULT_SIGMOID_W,
     feasibility_filter: bool = True,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    params: "SimilarityParams | None" = None,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
     margin: float = DEFAULT_MARGIN,
     lower: float = DEFAULT_LOWER,
     upper: float = DEFAULT_UPPER,
@@ -109,6 +121,11 @@ def solve_multi_vote(
     feasibility_filter:
         Run the extreme-condition judgment first (Section V) and drop
         unsatisfiable votes.
+    params:
+        Similarity parameters
+        (:class:`~repro.serving.params.SimilarityParams`); the bare
+        ``max_length``/``restart_prob`` keywords remain as deprecated
+        shims.
     Other parameters as in
     :func:`repro.optimize.single_vote.solve_single_votes`.
 
@@ -119,6 +136,11 @@ def solve_multi_vote(
         graph is returned unchanged and the report's ``solution`` is
         ``None``.
     """
+    params = resolve_similarity_params(
+        params, max_length=max_length, restart_prob=restart_prob
+    )
+    max_length = params.max_length
+    restart_prob = params.restart_prob
     result = aug if in_place else aug.copy()
     report = MultiVoteReport()
     start = time.perf_counter()

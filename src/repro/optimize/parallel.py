@@ -74,9 +74,21 @@ def solve_one_cluster(
     )
 
 
-def _worker(payload):
-    aug, cluster_votes, index, options = payload
-    return solve_one_cluster(aug, cluster_votes, index, options)
+#: Per-process base graph, installed once by the pool initializer so
+#: cluster payloads stay slim (votes + options only).  Shipping the full
+#: augmented graph inside every payload used to serialize it once *per
+#: cluster*; the initializer ships it once per worker.
+_POOL_GRAPH: "AugmentedGraph | None" = None
+
+
+def _init_pool(aug: AugmentedGraph) -> None:
+    global _POOL_GRAPH
+    _POOL_GRAPH = aug
+
+
+def _pool_worker(payload):
+    cluster_votes, index, options = payload
+    return solve_one_cluster(_POOL_GRAPH, cluster_votes, index, options)
 
 
 def solve_clusters_parallel(
@@ -91,7 +103,10 @@ def solve_clusters_parallel(
     Parameters
     ----------
     aug:
-        The base augmented graph (shipped to each worker).
+        The base augmented graph.  Shipped to each worker exactly once
+        through the pool initializer (with the ``fork`` start method it
+        is inherited copy-on-write, costing no serialization at all);
+        per-cluster payloads carry only the votes and options.
     clusters:
         One vote sequence per cluster.
     num_workers:
@@ -110,17 +125,27 @@ def solve_clusters_parallel(
         raise ReproError(f"num_workers must be at least 1, got {num_workers}")
     opts = dict(options or {})
     payloads = [
-        (aug, list(cluster), index, opts) for index, cluster in enumerate(clusters)
+        (list(cluster), index, opts) for index, cluster in enumerate(clusters)
     ]
     if num_workers == 1 or len(payloads) <= 1:
-        return [_worker(p) for p in payloads]
+        return [
+            solve_one_cluster(aug, cluster_votes, index, options_)
+            for cluster_votes, index, options_ in payloads
+        ]
     try:
         context = multiprocessing.get_context("fork")
-        with context.Pool(processes=min(num_workers, len(payloads))) as pool:
-            results = pool.map(_worker, payloads)
+        with context.Pool(
+            processes=min(num_workers, len(payloads)),
+            initializer=_init_pool,
+            initargs=(aug,),
+        ) as pool:
+            results = pool.map(_pool_worker, payloads)
     except (OSError, ValueError):
         # Sandboxed environments may forbid subprocesses; degrade gracefully.
-        results = [_worker(p) for p in payloads]
+        results = [
+            solve_one_cluster(aug, cluster_votes, index, options_)
+            for cluster_votes, index, options_ in payloads
+        ]
     return sorted(results, key=lambda r: r.index)
 
 

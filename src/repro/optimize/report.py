@@ -1,0 +1,51 @@
+"""The shared return contract of the three optimization drivers.
+
+``QASystem.optimize()`` can run any of the paper's three strategies, and
+each used to return an unrelated report class — callers had to switch on
+a three-way union to read even the timing fields.  All three report
+classes now derive from :class:`OptimizeReport`, which guarantees:
+
+- ``elapsed`` — wall-clock seconds of the whole run;
+- ``solve_time`` — seconds spent inside the SGP solver(s);
+- ``changed_edges`` — ``{(head, tail): (old_weight, new_weight)}`` of
+  every knowledge-graph edge the run actually modified (a dataclass
+  field on the batch strategies, a derived property on the greedy
+  single-vote strategy);
+- ``summary()`` — a one-line human-readable digest.
+
+Subclasses keep their strategy-specific extras (constraint counts,
+cluster structure, per-vote outcomes, ...) on top of this contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class OptimizeReport:
+    """Base record of one edge-weight optimization run.
+
+    Concrete subclasses: :class:`~repro.optimize.single_vote.SingleVoteReport`,
+    :class:`~repro.optimize.multi_vote.MultiVoteReport`, and
+    :class:`~repro.optimize.split_merge.SplitMergeReport`.  Every
+    subclass provides ``changed_edges`` (field or property).
+    """
+
+    #: Human-readable strategy name, overridden per subclass.
+    strategy = "optimize"
+
+    elapsed: float = 0.0
+    solve_time: float = 0.0
+
+    @property
+    def num_changed_edges(self) -> int:
+        """How many knowledge-graph edges the run modified."""
+        return len(self.changed_edges)
+
+    def summary(self) -> str:
+        """One-line digest of the run, uniform across strategies."""
+        return (
+            f"{self.strategy}: {self.num_changed_edges} edge(s) changed in "
+            f"{self.elapsed:.3f}s (solve {self.solve_time:.3f}s)"
+        )

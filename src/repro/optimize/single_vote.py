@@ -29,11 +29,9 @@ from repro.optimize.encoder import (
     encode_votes,
 )
 from repro.optimize.objectives import distance_signomial
+from repro.optimize.report import OptimizeReport
+from repro.serving.params import SimilarityParams, resolve_similarity_params
 from repro.sgp.solver import SGPSolution, solve_sgp
-from repro.similarity.inverse_pdistance import (
-    DEFAULT_MAX_LENGTH,
-    DEFAULT_RESTART_PROB,
-)
 from repro.votes.types import Vote, VoteSet
 
 
@@ -53,13 +51,18 @@ class VoteOutcome:
 
 
 @dataclass
-class SingleVoteReport:
-    """Aggregate record of a single-vote optimization run."""
+class SingleVoteReport(OptimizeReport):
+    """Aggregate record of a single-vote optimization run.
+
+    Extends :class:`~repro.optimize.report.OptimizeReport` (``elapsed``,
+    ``solve_time``, ``changed_edges``, ``summary()``) with the per-vote
+    outcomes of the greedy Algorithm 1 loop.
+    """
+
+    strategy = "single-vote"
 
     outcomes: list[VoteOutcome] = field(default_factory=list)
-    elapsed: float = 0.0
     encode_time: float = 0.0
-    solve_time: float = 0.0
 
     @property
     def num_solved(self) -> int:
@@ -71,20 +74,35 @@ class SingleVoteReport:
         """How many votes were skipped (positive, or nothing to encode)."""
         return sum(1 for o in self.outcomes if not o.solved)
 
-    def all_changed_edges(self) -> dict:
-        """Union of per-vote edge changes; later votes win (greedy order)."""
+    @property
+    def changed_edges(self) -> dict:
+        """Union of per-vote edge changes; later votes win (greedy order).
+
+        ``{(head, tail): (old, new)}`` where ``old`` comes from the last
+        vote that touched the edge — the greedy loop rewrites the graph
+        between votes, so a global "before" does not exist here.
+        """
         merged: dict = {}
         for outcome in self.outcomes:
             merged.update(outcome.changed_edges)
         return merged
+
+    def all_changed_edges(self) -> dict:
+        """Backward-compatible alias for :attr:`changed_edges`."""
+        return self.changed_edges
+
+    def summary(self) -> str:
+        base = super().summary()
+        return f"{base}; {self.num_solved} vote(s) solved, {self.num_skipped} skipped"
 
 
 def solve_single_votes(
     aug: AugmentedGraph,
     votes: "VoteSet | list[Vote]",
     *,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    params: "SimilarityParams | None" = None,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
     margin: float = DEFAULT_MARGIN,
     lower: float = DEFAULT_LOWER,
     upper: float = DEFAULT_UPPER,
@@ -102,6 +120,11 @@ def solve_single_votes(
         ``in_place`` is set; the optimized graph ``G*`` is returned.
     votes:
         The vote set ``T``; only ``T⁻`` (negative votes) is used.
+    params:
+        Similarity parameters
+        (:class:`~repro.serving.params.SimilarityParams`); the bare
+        ``max_length``/``restart_prob`` keywords remain as deprecated
+        shims.
     solver_method, max_iter:
         Passed to :func:`repro.sgp.solver.solve_sgp`.
     normalize:
@@ -114,6 +137,11 @@ def solve_single_votes(
     -------
     (optimized graph, report)
     """
+    params = resolve_similarity_params(
+        params, max_length=max_length, restart_prob=restart_prob
+    )
+    max_length = params.max_length
+    restart_prob = params.restart_prob
     result = aug if in_place else aug.copy()
     report = SingleVoteReport()
     start = time.perf_counter()

@@ -31,22 +31,28 @@ from repro.optimize.parallel import (
     solve_clusters_parallel,
     solve_one_cluster,
 )
-from repro.similarity.inverse_pdistance import (
-    DEFAULT_MAX_LENGTH,
-    DEFAULT_RESTART_PROB,
-)
+from repro.optimize.report import OptimizeReport
+from repro.serving.params import SimilarityParams, resolve_similarity_params
 from repro.votes.types import Vote, VoteSet
 
 
 @dataclass
-class SplitMergeReport:
-    """Record of one split-and-merge run."""
+class SplitMergeReport(OptimizeReport):
+    """Record of one split-and-merge run.
+
+    Extends :class:`~repro.optimize.report.OptimizeReport` (``elapsed``,
+    ``solve_time``, ``changed_edges``, ``summary()``) with the cluster
+    structure and split/solve/merge stage timings.  The inherited
+    ``solve_time`` equals ``solve_time_total`` (the sequential sum over
+    clusters); ``solve_time_max`` is the parallel lower bound.
+    """
+
+    strategy = "split-merge"
 
     clusters: list[list[int]] = field(default_factory=list)
     cluster_results: list[ClusterResult] = field(default_factory=list)
     merged_deltas: dict = field(default_factory=dict)
     changed_edges: dict = field(default_factory=dict)
-    elapsed: float = 0.0
     split_time: float = 0.0
     solve_time_total: float = 0.0
     solve_time_max: float = 0.0
@@ -82,6 +88,13 @@ class SplitMergeReport:
             )
         )
 
+    def summary(self) -> str:
+        base = super().summary()
+        return (
+            f"{base}; {self.num_clusters} cluster(s), "
+            f"avg size {self.average_cluster_size:.1f}"
+        )
+
 
 def solve_split_merge(
     aug: AugmentedGraph,
@@ -94,8 +107,9 @@ def solve_split_merge(
     lambda2: float = 0.5,
     sigmoid_w: float = DEFAULT_SIGMOID_W,
     feasibility_filter: bool = True,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    params: "SimilarityParams | None" = None,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
     margin: float = DEFAULT_MARGIN,
     lower: float = DEFAULT_LOWER,
     upper: float = DEFAULT_UPPER,
@@ -117,6 +131,11 @@ def solve_split_merge(
     num_workers:
         ``1`` solves clusters sequentially in-process; ``>1`` uses a
         process pool (the distributed deployment).
+    params:
+        Similarity parameters
+        (:class:`~repro.serving.params.SimilarityParams`); the bare
+        ``max_length``/``restart_prob`` keywords remain as deprecated
+        shims.
     Remaining parameters as in
     :func:`repro.optimize.multi_vote.solve_multi_vote`, applied to every
     per-cluster solve.
@@ -125,6 +144,9 @@ def solve_split_merge(
     -------
     (optimized graph, report)
     """
+    params = resolve_similarity_params(
+        params, max_length=max_length, restart_prob=restart_prob
+    )
     result = aug if in_place else aug.copy()
     report = SplitMergeReport()
     start = time.perf_counter()
@@ -135,7 +157,7 @@ def solve_split_merge(
 
     # --- split -------------------------------------------------------
     split_start = time.perf_counter()
-    edge_sets = vote_edge_sets(result, vote_list, max_length=max_length)
+    edge_sets = vote_edge_sets(result, vote_list, max_length=params.max_length)
     similarity = vote_similarity_matrix(edge_sets)
     clusters = cluster_votes(similarity, preference=preference, damping=damping)
     report.clusters = clusters
@@ -147,8 +169,7 @@ def solve_split_merge(
         lambda2=lambda2,
         sigmoid_w=sigmoid_w,
         feasibility_filter=feasibility_filter,
-        max_length=max_length,
-        restart_prob=restart_prob,
+        params=params,
         margin=margin,
         lower=lower,
         upper=upper,
@@ -168,6 +189,7 @@ def solve_split_merge(
         ]
     report.cluster_results = results
     report.solve_time_total = sum(r.elapsed for r in results)
+    report.solve_time = report.solve_time_total
     report.solve_time_max = max((r.elapsed for r in results), default=0.0)
 
     # --- merge ---------------------------------------------------------

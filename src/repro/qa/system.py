@@ -7,6 +7,15 @@ user's vote (explicit, or implicit as in the e-commerce/click examples
 of Section I) is recorded; accumulated votes are turned into an edge
 weight optimization with any of the three solution strategies; and the
 improved graph immediately serves the next question.
+
+Serving is delegated to a :class:`~repro.serving.engine.SimilarityEngine`
+(the versioned cached-adjacency subsystem), so repeated questions
+against an unchanged graph cost a cache lookup instead of an ``O(|E|)``
+matrix rebuild, and :meth:`QASystem.ask_many` answers whole batches
+with one stacked propagation.  Similarity parameters travel as one
+:class:`~repro.serving.params.SimilarityParams` object; the historical
+``k``/``max_length``/``restart_prob`` keyword arguments keep working
+behind a deprecation shim.
 """
 
 from __future__ import annotations
@@ -17,12 +26,17 @@ from repro.errors import CorpusError, EvaluationError, VoteError
 from repro.eval.harness import EvaluationResult, evaluate_test_set
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import WeightedDiGraph
-from repro.optimize.multi_vote import MultiVoteReport, solve_multi_vote
-from repro.optimize.single_vote import SingleVoteReport, solve_single_votes
-from repro.optimize.split_merge import SplitMergeReport, solve_split_merge
+from repro.optimize.multi_vote import solve_multi_vote
+from repro.optimize.report import OptimizeReport
+from repro.optimize.single_vote import solve_single_votes
+from repro.optimize.split_merge import solve_split_merge
 from repro.qa.entities import EntityVocabulary
+from repro.serving.engine import DEFAULT_CACHE_SIZE, EngineStats, SimilarityEngine
+from repro.serving.params import SimilarityParams, resolve_similarity_params
 from repro.similarity.top_k import rank_answers
 from repro.votes.types import Vote, VoteSet
+
+__all__ = ["QASystem"]
 
 
 class QASystem:
@@ -35,10 +49,18 @@ class QASystem:
         :func:`repro.qa.kg_builder.build_knowledge_graph`).
     vocabulary:
         Entity extractor used to link questions/documents to the graph.
-    k:
-        Length of returned answer lists (paper default 20).
-    max_length, restart_prob:
-        Similarity-evaluation parameters (``L`` and ``c``).
+    params:
+        The :class:`~repro.serving.params.SimilarityParams` bundle
+        (``k``, ``max_length``, ``restart_prob``).
+    use_engine:
+        Serve through the incremental :class:`SimilarityEngine`
+        (default).  ``False`` restores the historical rebuild-per-call
+        path — scores are bitwise identical either way; the flag exists
+        for benchmarking and as an escape hatch.
+    engine_cache_size:
+        Bound on the engine's per-query score LRU.
+    k, max_length, restart_prob:
+        Deprecated; pass ``params`` instead.
     """
 
     def __init__(
@@ -46,20 +68,83 @@ class QASystem:
         kg: WeightedDiGraph,
         vocabulary: EntityVocabulary,
         *,
-        k: int = 20,
-        max_length: int = 5,
-        restart_prob: float = 0.15,
+        params: "SimilarityParams | None" = None,
+        use_engine: bool = True,
+        engine_cache_size: int = DEFAULT_CACHE_SIZE,
+        k: "int | None" = None,
+        max_length: "int | None" = None,
+        restart_prob: "float | None" = None,
     ) -> None:
-        if k < 1:
-            raise ValueError(f"k must be ≥ 1, got {k}")
+        self._params = resolve_similarity_params(
+            params, k=k, max_length=max_length, restart_prob=restart_prob
+        )
         self._aug = AugmentedGraph(kg)
         self._vocabulary = vocabulary
-        self.k = k
-        self.max_length = max_length
-        self.restart_prob = restart_prob
+        self._engine: "SimilarityEngine | None" = (
+            SimilarityEngine(
+                self._aug, params=self._params, cache_size=engine_cache_size
+            )
+            if use_engine
+            else None
+        )
         self._shown: dict[str, tuple[str, ...]] = {}
         self._votes = VoteSet()
         self._question_counter = 0
+
+    # ------------------------------------------------------------------
+    # parameters
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> SimilarityParams:
+        """The similarity parameters used for serving and optimization."""
+        return self._params
+
+    @params.setter
+    def params(self, value: SimilarityParams) -> None:
+        if not isinstance(value, SimilarityParams):
+            raise TypeError(f"params must be SimilarityParams, got {value!r}")
+        self._params = value
+        if self._engine is not None:
+            self._engine.params = value
+
+    @property
+    def k(self) -> int:
+        """Answer-list length (``params.k``)."""
+        return self._params.k
+
+    @k.setter
+    def k(self, value: int) -> None:
+        self.params = self._params.replace(k=value)
+
+    @property
+    def max_length(self) -> int:
+        """Walk pruning threshold ``L`` (``params.max_length``)."""
+        return self._params.max_length
+
+    @max_length.setter
+    def max_length(self, value: int) -> None:
+        self.params = self._params.replace(max_length=value)
+
+    @property
+    def restart_prob(self) -> float:
+        """Restart probability ``c`` (``params.restart_prob``)."""
+        return self._params.restart_prob
+
+    @restart_prob.setter
+    def restart_prob(self, value: float) -> None:
+        self.params = self._params.replace(restart_prob=value)
+
+    # ------------------------------------------------------------------
+    # serving internals
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> "SimilarityEngine | None":
+        """The serving engine (``None`` when ``use_engine=False``)."""
+        return self._engine
+
+    def serving_stats(self) -> "EngineStats | None":
+        """Engine observability snapshot, or ``None`` without an engine."""
+        return self._engine.stats() if self._engine is not None else None
 
     # ------------------------------------------------------------------
     # corpus attachment
@@ -89,6 +174,29 @@ class QASystem:
     # ------------------------------------------------------------------
     # the ask / vote loop
     # ------------------------------------------------------------------
+    def _attach_question(self, question: str, question_id: str) -> None:
+        """Link a question to the graph as a query node (re-attach ok)."""
+        counts = self._vocabulary.extract(question)
+        counts = {e: c for e, c in counts.items() if self._aug.is_entity(e)}
+        if not counts:
+            raise CorpusError(
+                f"question {question!r} mentions no entity known to the graph"
+            )
+        if question_id in self._aug.query_nodes:
+            self._aug.remove_query(question_id)
+        self._aug.add_query(question_id, counts)
+
+    def _next_question_id(self) -> str:
+        question_id = f"__q{self._question_counter}"
+        self._question_counter += 1
+        return question_id
+
+    def _record_shown(
+        self, question_id: str, ranked: Sequence[tuple]
+    ) -> list[tuple[str, float]]:
+        self._shown[question_id] = tuple(answer for answer, _ in ranked)
+        return [(str(answer), score) for answer, score in ranked]
+
     def ask(self, question: str, *, question_id: "str | None" = None) -> list[tuple[str, float]]:
         """Answer a question with a ranked top-k document list.
 
@@ -102,26 +210,71 @@ class QASystem:
             When the question mentions no entity known to the graph.
         """
         if question_id is None:
-            question_id = f"__q{self._question_counter}"
-            self._question_counter += 1
-        counts = self._vocabulary.extract(question)
-        counts = {e: c for e, c in counts.items() if self._aug.is_entity(e)}
-        if not counts:
-            raise CorpusError(
-                f"question {question!r} mentions no entity known to the graph"
-            )
-        if question_id in self._aug.query_nodes:
-            self._aug.remove_query(question_id)
-        self._aug.add_query(question_id, counts)
+            question_id = self._next_question_id()
+        self._attach_question(question, question_id)
         ranked = rank_answers(
             self._aug,
             question_id,
-            k=self.k,
-            max_length=self.max_length,
-            restart_prob=self.restart_prob,
+            params=self._params,
+            engine=self._engine,
         )
-        self._shown[question_id] = tuple(answer for answer, _ in ranked)
-        return [(str(answer), score) for answer, score in ranked]
+        return self._record_shown(question_id, ranked)
+
+    def ask_many(
+        self,
+        questions: Mapping[str, str],
+        *,
+        skip_unlinkable: bool = False,
+    ) -> dict[str, list[tuple[str, float]]]:
+        """Answer a batch of questions with one stacked propagation.
+
+        Parameters
+        ----------
+        questions:
+            ``question_id -> question text``.  Each question is attached
+            exactly as :meth:`ask` would, but all of them are scored
+            together through the engine's batched path (``L``
+            sparse-dense products total instead of ``L`` per question).
+        skip_unlinkable:
+            Silently drop questions that mention no known entity instead
+            of raising :class:`~repro.errors.CorpusError`.
+
+        Returns
+        -------
+        dict
+            ``question_id -> ranked (doc, score) list``, in input order;
+            shown lists are recorded for :meth:`vote` like ``ask``'s.
+        """
+        attached: list[str] = []
+        for question_id, text in questions.items():
+            try:
+                self._attach_question(text, question_id)
+            except CorpusError:
+                if skip_unlinkable:
+                    continue
+                raise
+            attached.append(question_id)
+        if not attached:
+            return {}
+        if self._engine is not None:
+            all_scores = self._engine.score_batch(
+                attached, params=self._params
+            )
+            results: dict[str, list[tuple[str, float]]] = {}
+            for question_id in attached:
+                ordered = sorted(
+                    all_scores[question_id].items(),
+                    key=lambda item: (-item[1], repr(item[0])),
+                )[: self._params.k]
+                results[question_id] = self._record_shown(question_id, ordered)
+            return results
+        return {
+            question_id: self._record_shown(
+                question_id,
+                rank_answers(self._aug, question_id, params=self._params),
+            )
+            for question_id in attached
+        }
 
     def vote(self, question_id: str, best_doc: str) -> Vote:
         """Record the user's vote for ``question_id``'s best document.
@@ -157,7 +310,7 @@ class QASystem:
         strategy: str = "multi",
         clear_votes: bool = True,
         **options,
-    ) -> "MultiVoteReport | SingleVoteReport | SplitMergeReport":
+    ) -> OptimizeReport:
         """Optimize the graph against the pending votes.
 
         Parameters
@@ -169,12 +322,28 @@ class QASystem:
             Drop the pending votes after applying them (they are spent).
         options:
             Forwarded to the chosen driver (``lambda1``, ``sigmoid_w``,
-            ``solver_method``, ``num_workers``, ...).
+            ``solver_method``, ``num_workers``, ...).  Similarity
+            parameters default to this system's ``params``; override
+            with ``params=SimilarityParams(...)`` (the bare
+            ``max_length``/``restart_prob`` keywords still work but are
+            deprecated).
+
+        Returns
+        -------
+        OptimizeReport
+            The strategy's report; all three share the
+            :class:`~repro.optimize.report.OptimizeReport` contract
+            (``elapsed``, ``solve_time``, ``changed_edges``,
+            ``summary()``).
         """
         if not len(self._votes):
             raise VoteError("no pending votes to optimize against")
-        options.setdefault("max_length", self.max_length)
-        options.setdefault("restart_prob", self.restart_prob)
+        options["params"] = resolve_similarity_params(
+            options.pop("params", None),
+            max_length=options.pop("max_length", None),
+            restart_prob=options.pop("restart_prob", None),
+            default=self._params,
+        )
         if strategy == "multi":
             _, report = solve_multi_vote(
                 self._aug, self._votes, in_place=True, **options
@@ -243,8 +412,8 @@ class QASystem:
                 self._aug,
                 pairs,
                 k_values=k_values,
-                max_length=self.max_length,
-                restart_prob=self.restart_prob,
+                params=self._params,
+                engine=self._engine,
             )
         finally:
             for question_id in attached:

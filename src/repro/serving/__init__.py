@@ -1,0 +1,35 @@
+"""Versioned, production-style similarity serving.
+
+The seed code treated the augmented graph as a per-call throwaway:
+every ``ask()`` rebuilt the CSR adjacency matrix from Python dicts.
+This subpackage treats it as a long-lived serving asset instead:
+
+- :mod:`repro.serving.params` — :class:`SimilarityParams`, the single
+  validated bundle of the similarity parameters ``(k, L, c)`` threaded
+  through the whole stack;
+- :mod:`repro.serving.engine` — :class:`SimilarityEngine`, which owns a
+  versioned cached sparse adjacency matrix maintained incrementally
+  from graph mutation events (in-place weight patches, CSR row appends
+  for new documents, zero-cost query attach/detach), a bounded LRU of
+  per-query score vectors, batched serving, and observability counters.
+"""
+
+from repro.serving.params import (
+    DEFAULT_K,
+    SimilarityParams,
+    resolve_similarity_params,
+)
+from repro.serving.engine import (
+    DEFAULT_CACHE_SIZE,
+    EngineStats,
+    SimilarityEngine,
+)
+
+__all__ = [
+    "DEFAULT_K",
+    "DEFAULT_CACHE_SIZE",
+    "SimilarityParams",
+    "resolve_similarity_params",
+    "EngineStats",
+    "SimilarityEngine",
+]

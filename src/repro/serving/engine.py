@@ -1,0 +1,572 @@
+"""The versioned similarity-serving engine.
+
+The seed serving path rebuilt the full CSR adjacency matrix from the
+graph's Python dicts on *every* ``QASystem.ask()`` — an ``O(|E|)``
+reconstruction per question that dwarfs the ``O(L·|E|)`` propagation the
+truncated inverse P-distance (Section IV-A) was designed to make cheap.
+:class:`SimilarityEngine` turns the graph into a long-lived serving
+asset:
+
+- it owns one cached sparse adjacency matrix over the *persistent*
+  nodes (entities + answers) and keeps it up to date incrementally from
+  the graph's mutation events (:meth:`~repro.graph.digraph.WeightedDiGraph.add_listener`):
+  optimizer weight updates patch the CSR data array in place through a
+  precomputed ``(head, tail) -> position`` map, and new answer
+  (document) nodes append one CSR row — no rebuild in either case;
+- query nodes never enter the matrix at all.  A query has out-links
+  only, so no walk mass ever returns to it: seeding the propagation
+  directly with the query's out-link weights is *bitwise identical* to
+  running the dynamic program with the query row/column present (the
+  removed entries only ever multiply zero mass).  Attaching or
+  detaching a query therefore costs the engine nothing;
+- score vectors live in a bounded LRU keyed on the engine's *matrix
+  epoch* — a counter bumped only when the matrix contents actually
+  change (rebuild, weight patch, row append).  Repeated questions
+  against an unchanged matrix are served from the cache even while
+  transient query nodes churn, and the cache is implicitly invalidated
+  the moment the optimizer changes a weight;
+- :meth:`SimilarityEngine.stats` exposes observability counters (cache
+  hits/misses, patches, row appends, rebuilds avoided, per-stage
+  timings) for serving dashboards and the throughput benchmark.
+
+Batched serving (:meth:`score_batch`) stacks the seed vectors of many
+queries into one dense block and shares the ``L`` sparse matrix
+products, mirroring :func:`repro.similarity.inverse_pdistance.inverse_pdistance_batch`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import EvaluationError, NodeNotFoundError
+from repro.graph.augmented import AugmentedGraph
+from repro.graph.digraph import Node
+from repro.serving.params import SimilarityParams, resolve_similarity_params
+
+#: Default bound on the per-query score-vector LRU cache.
+DEFAULT_CACHE_SIZE = 256
+
+
+@dataclass
+class EngineStats:
+    """Point-in-time snapshot of the engine's observability counters."""
+
+    #: Graph version the engine last served against.
+    graph_version: int = 0
+    #: Full matrix (re)builds performed.
+    builds: int = 0
+    #: Serves that found the cached matrix usable (no rebuild needed).
+    rebuilds_avoided: int = 0
+    #: In-place CSR weight patches applied (optimizer updates).
+    weight_patches: int = 0
+    #: CSR rows appended for newly attached answer/document nodes.
+    rows_appended: int = 0
+    #: Buffered mutation events that concerned transient query nodes
+    #: and were skipped without touching the matrix.
+    query_events_ignored: int = 0
+    #: Score-cache hits / misses.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: Current number of cached score vectors.
+    cache_entries: int = 0
+    #: Single-query / batched serve calls.
+    serves: int = 0
+    batch_serves: int = 0
+    #: Cumulative seconds spent (re)building the matrix.
+    build_time: float = 0.0
+    #: Cumulative seconds spent in sparse propagation.
+    propagate_time: float = 0.0
+    timings: dict = field(default_factory=dict)
+
+
+class SimilarityEngine:
+    """Versioned, incrementally maintained similarity serving.
+
+    Parameters
+    ----------
+    aug:
+        The live augmented graph to serve.  The engine registers a
+        mutation listener on ``aug.graph`` and must be :meth:`close`\\ d
+        (or garbage-collected) when no longer needed.
+    params:
+        Default :class:`SimilarityParams`; per-call overrides accepted.
+    cache_size:
+        Bound on the per-query score-vector LRU cache (0 disables it).
+
+    Notes
+    -----
+    The engine assumes the paper's augmented-graph construction
+    (Section III-A): query nodes have out-links only.  Mutations routed
+    through the :class:`~repro.graph.augmented.AugmentedGraph` /
+    :class:`~repro.graph.digraph.WeightedDiGraph` APIs are tracked
+    automatically; scores are always served at the graph's current
+    version.
+    """
+
+    def __init__(
+        self,
+        aug: AugmentedGraph,
+        *,
+        params: "SimilarityParams | None" = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be ≥ 0, got {cache_size}")
+        self._aug = aug
+        self.params = params if params is not None else SimilarityParams()
+        self._cache_size = cache_size
+        self._cache: OrderedDict = OrderedDict()
+        self._matrix: "sparse.csr_matrix | None" = None
+        self._epoch = 0  # bumped only when the matrix contents change
+        self._index: dict[Node, int] = {}
+        self._pos: dict[tuple[Node, Node], int] = {}
+        self._events: list[tuple] = []
+        self._stats = EngineStats()
+        self._listener = self._on_mutation
+        aug.graph.add_listener(self._listener)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Detach from the graph's mutation feed and drop caches."""
+        self._aug.graph.remove_listener(self._listener)
+        self._matrix = None
+        self._cache.clear()
+        self._events.clear()
+
+    @property
+    def version(self) -> int:
+        """The served graph's current mutation version."""
+        return self._aug.graph.version
+
+    def stats(self) -> EngineStats:
+        """A snapshot of the observability counters."""
+        snapshot = EngineStats(**{
+            f: getattr(self._stats, f)
+            for f in self._stats.__dataclass_fields__
+            if f != "timings"
+        })
+        snapshot.graph_version = self.version
+        snapshot.cache_entries = len(self._cache)
+        snapshot.timings = {
+            "build": self._stats.build_time,
+            "propagate": self._stats.propagate_time,
+        }
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # mutation feed
+    # ------------------------------------------------------------------
+    def _on_mutation(self, event: str, *args) -> None:
+        # Buffered: events are coalesced and applied lazily at the next
+        # serve, so a burst of optimizer updates costs one pass.
+        self._events.append((event, *args))
+
+    def _is_transient(self, node: Node) -> bool:
+        """Whether ``node`` is (or was) a query node the matrix excludes."""
+        if self._aug.is_query(node):
+            return True
+        # A node that vanished before the flush and never made it into
+        # the matrix was a transient attach/detach (detached queries are
+        # already gone from the role sets when events are processed).
+        return (
+            node not in self._index
+            and not self._aug.is_answer(node)
+            and not self._aug.is_entity(node)
+        )
+
+    def _flush(self) -> None:
+        """Apply buffered mutations to the cached matrix."""
+        events, self._events = self._events, []
+        if self._matrix is None:
+            self._rebuild()
+            return
+        if not events:
+            self._stats.rebuilds_avoided += 1
+            return
+        patches: list[tuple[int, float]] = []
+        new_answers: list[Node] = []
+        new_answer_set: set[Node] = set()
+        rebuild = False
+        for event in events:
+            kind = event[0]
+            if kind == "update_weight":
+                _, head, tail, weight = event
+                position = self._pos.get((head, tail))
+                if position is not None:
+                    patches.append((position, weight))
+                elif tail in new_answer_set or self._is_transient(head) or (
+                    self._is_transient(tail)
+                ):
+                    self._stats.query_events_ignored += 1
+                else:
+                    rebuild = True
+                    break
+            elif kind == "add_node":
+                node = event[1]
+                if self._aug.is_answer(node) and node not in self._index:
+                    new_answers.append(node)
+                    new_answer_set.add(node)
+                elif self._is_transient(node):
+                    self._stats.query_events_ignored += 1
+                else:
+                    rebuild = True  # a new entity: sparsity pattern changes
+                    break
+            elif kind == "add_edge":
+                _, head, tail, weight = event
+                if tail in new_answer_set:
+                    continue  # the appended row is read from the live graph
+                if self._is_transient(head) or self._is_transient(tail):
+                    self._stats.query_events_ignored += 1
+                    continue
+                position = self._pos.get((head, tail))
+                if position is not None:
+                    patches.append((position, weight))
+                else:
+                    rebuild = True
+                    break
+            else:  # "remove_edge" / "remove_node"
+                involved = event[1:3] if kind == "remove_edge" else event[1:2]
+                if any(self._is_transient(node) for node in involved):
+                    self._stats.query_events_ignored += 1
+                    continue
+                rebuild = True
+                break
+        if rebuild:
+            self._rebuild()
+            return
+        if patches:
+            data = self._matrix.data
+            for position, weight in patches:
+                data[position] = weight
+            self._stats.weight_patches += len(patches)
+            self._epoch += 1
+        if new_answers:
+            try:
+                self._append_answer_rows(new_answers)
+            except KeyError:
+                self._rebuild()
+                return
+            self._epoch += 1
+        self._stats.rebuilds_avoided += 1
+
+    def _rebuild(self) -> None:
+        """Rebuild the base matrix from the live graph (the safe path).
+
+        The base matrix is ``M[i, j] = w(v_j, v_i)`` over every
+        non-query node, with per-row entries sorted by column — the same
+        canonical layout ``scipy`` produces for the cold
+        :meth:`~repro.graph.digraph.WeightedDiGraph.adjacency_matrix`,
+        so propagation results match it bitwise.
+        """
+        started = time.perf_counter()
+        graph = self._aug.graph
+        queries = self._aug.query_nodes
+        nodes = [node for node in graph.nodes() if node not in queries]
+        index = {node: i for i, node in enumerate(nodes)}
+        per_row: list[list[tuple[int, float, tuple[Node, Node]]]] = [
+            [] for _ in nodes
+        ]
+        for head in nodes:
+            j = index[head]
+            for tail, weight in graph.successors(head).items():
+                if tail in queries:
+                    continue  # unsupported by construction; be safe
+                per_row[index[tail]].append((j, weight, (head, tail)))
+        data: list[float] = []
+        indices: list[int] = []
+        indptr = [0]
+        positions: dict[tuple[Node, Node], int] = {}
+        for row in per_row:
+            row.sort(key=lambda entry: entry[0])
+            for j, weight, key in row:
+                positions[key] = len(data)
+                indices.append(j)
+                data.append(weight)
+            indptr.append(len(data))
+        n = len(nodes)
+        self._matrix = sparse.csr_matrix(
+            (
+                np.asarray(data, dtype=float),
+                np.asarray(indices, dtype=np.int32),
+                np.asarray(indptr, dtype=np.int32),
+            ),
+            shape=(n, n),
+        )
+        self._index = index
+        self._pos = positions
+        self._epoch += 1
+        self._stats.builds += 1
+        self._stats.build_time += time.perf_counter() - started
+
+    def _append_answer_rows(self, answers: Sequence[Node]) -> None:
+        """Grow the matrix by one empty column + one in-link row per answer.
+
+        Answer nodes have no out-edges, so their columns stay empty; all
+        their in-links land in the single new row, which makes CSR row
+        append the exact incremental form of a rebuild.
+        """
+        started = time.perf_counter()
+        matrix = self._matrix
+        data_parts = [matrix.data]
+        index_parts = [matrix.indices]
+        indptr = list(matrix.indptr)
+        offset = len(matrix.data)
+        for answer in answers:
+            links = self._aug.answer_links(answer)
+            entries = sorted(
+                (self._index[entity], float(weight), entity)
+                for entity, weight in links.items()
+            )
+            self._index[answer] = len(self._index)
+            for j, weight, entity in entries:
+                self._pos[(entity, answer)] = offset
+                offset += 1
+            data_parts.append(np.asarray([w for _, w, _ in entries], dtype=float))
+            index_parts.append(np.asarray([j for j, _, _ in entries], dtype=np.int32))
+            indptr.append(offset)
+        n = len(self._index)
+        self._matrix = sparse.csr_matrix(
+            (
+                np.concatenate(data_parts),
+                np.concatenate(index_parts),
+                np.asarray(indptr, dtype=np.int64),
+            ),
+            shape=(n, n),
+        )
+        self._stats.rows_appended += len(answers)
+        self._stats.build_time += time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def _resolve_targets(self, targets: "Iterable[Node] | None") -> list[Node]:
+        if targets is None:
+            return sorted(self._aug.answer_nodes, key=repr)
+        return list(targets)
+
+    def _target_indices(self, targets: Sequence[Node]) -> np.ndarray:
+        try:
+            return np.array([self._index[t] for t in targets], dtype=int)
+        except KeyError as exc:
+            raise NodeNotFoundError(exc.args[0]) from None
+
+    def _seed_links(self, query: Node) -> dict[Node, float]:
+        if not self._aug.is_query(query):
+            raise EvaluationError(
+                f"{query!r} is not a query node of the augmented graph"
+            )
+        return self._aug.query_links(query)
+
+    def _cache_key(self, links, targets, params) -> tuple:
+        # Keyed on the matrix epoch, not the graph version: transient
+        # query attach/detach bumps the version but cannot change any
+        # served score, so cached vectors stay valid across it.
+        return (
+            tuple(links.items()),
+            tuple(targets),
+            params.max_length,
+            params.restart_prob,
+            self._epoch,
+        )
+
+    def _cache_get(self, key):
+        if not self._cache_size:
+            return None
+        scores = self._cache.get(key)
+        if scores is None:
+            self._stats.cache_misses += 1
+            return None
+        self._cache.move_to_end(key)
+        self._stats.cache_hits += 1
+        return scores
+
+    def _cache_put(self, key, scores) -> None:
+        if not self._cache_size:
+            return
+        self._cache[key] = scores
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+
+    def _propagate_one(
+        self, links: Mapping[Node, float], target_idx: np.ndarray, params
+    ) -> np.ndarray:
+        """The inverse-P-distance DP with the first step pre-seeded.
+
+        Mirrors :func:`repro.similarity.inverse_pdistance.inverse_pdistance`
+        operation-for-operation from ``t = 1`` on, so the result is
+        bitwise equal to a cold recompute on the full graph.
+        """
+        started = time.perf_counter()
+        matrix = self._matrix
+        mass = np.zeros(matrix.shape[0])
+        for entity, weight in links.items():
+            mass[self._index[entity]] = weight
+        damping = 1.0 - params.restart_prob
+        factor = params.restart_prob
+        factor *= damping
+        scores = np.zeros(len(target_idx))
+        scores += factor * mass[target_idx]
+        for _ in range(params.max_length - 1):
+            mass = matrix @ mass
+            factor *= damping
+            if not mass.any():
+                break
+            scores += factor * mass[target_idx]
+        self._stats.propagate_time += time.perf_counter() - started
+        return scores
+
+    def _propagate_many(
+        self,
+        link_columns: Sequence[Mapping[Node, float]],
+        target_idx: np.ndarray,
+        params,
+    ) -> np.ndarray:
+        """Stacked propagation: one dense block, ``L`` sparse products."""
+        started = time.perf_counter()
+        matrix = self._matrix
+        mass = np.zeros((matrix.shape[0], len(link_columns)))
+        for column, links in enumerate(link_columns):
+            for entity, weight in links.items():
+                mass[self._index[entity], column] = weight
+        damping = 1.0 - params.restart_prob
+        factor = params.restart_prob
+        factor *= damping
+        scores = np.zeros((len(target_idx), len(link_columns)))
+        scores += factor * mass[target_idx, :]
+        for _ in range(params.max_length - 1):
+            mass = matrix @ mass
+            factor *= damping
+            if not mass.any():
+                break
+            scores += factor * mass[target_idx, :]
+        self._stats.propagate_time += time.perf_counter() - started
+        return scores
+
+    def scores(
+        self,
+        links: Mapping[Node, float],
+        targets: "Iterable[Node] | None" = None,
+        *,
+        params: "SimilarityParams | None" = None,
+    ) -> dict[Node, float]:
+        """``Φ_L`` scores for a *virtual* query given its entity links.
+
+        ``links`` is the query's normalized out-link mapping
+        (``entity -> weight``); the query node itself does not need to
+        exist in the graph.  Unknown entities raise
+        :class:`~repro.errors.NodeNotFoundError`.
+        """
+        params = params if params is not None else self.params
+        target_list = self._resolve_targets(targets)
+        self._stats.serves += 1
+        self._flush()
+        key = self._cache_key(links, target_list, params)
+        cached = self._cache_get(key)
+        if cached is not None:
+            return dict(cached)
+        missing = [e for e in links if e not in self._index]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        target_idx = self._target_indices(target_list)
+        vector = self._propagate_one(links, target_idx, params)
+        result = {t: float(s) for t, s in zip(target_list, vector)}
+        self._cache_put(key, result)
+        return dict(result)
+
+    def scores_for_query(
+        self,
+        query: Node,
+        targets: "Iterable[Node] | None" = None,
+        *,
+        params: "SimilarityParams | None" = None,
+    ) -> dict[Node, float]:
+        """``Φ_L`` scores for an attached query node."""
+        return self.scores(self._seed_links(query), targets, params=params)
+
+    def score_batch(
+        self,
+        queries: Sequence[Node],
+        targets: "Iterable[Node] | None" = None,
+        *,
+        params: "SimilarityParams | None" = None,
+    ) -> dict[Node, dict[Node, float]]:
+        """Batched ``Φ_L`` for many attached queries at once.
+
+        Cached queries are answered from the LRU; the remainder share
+        one stacked propagation (``L`` sparse-dense products total).
+        """
+        params = params if params is not None else self.params
+        target_list = self._resolve_targets(targets)
+        query_list = list(queries)
+        if not query_list:
+            return {}
+        self._stats.batch_serves += 1
+        self._flush()
+        links_by_query = {q: self._seed_links(q) for q in query_list}
+        results: dict[Node, dict[Node, float]] = {}
+        pending: list[Node] = []
+        keys: dict[Node, tuple] = {}
+        for query in query_list:
+            key = self._cache_key(links_by_query[query], target_list, params)
+            keys[query] = key
+            cached = self._cache_get(key)
+            if cached is not None:
+                results[query] = dict(cached)
+            else:
+                pending.append(query)
+        if pending:
+            for query in pending:
+                missing = [
+                    e for e in links_by_query[query] if e not in self._index
+                ]
+                if missing:
+                    raise NodeNotFoundError(missing[0])
+            target_idx = self._target_indices(target_list)
+            block = self._propagate_many(
+                [links_by_query[q] for q in pending], target_idx, params
+            )
+            for column, query in enumerate(pending):
+                result = {
+                    t: float(block[row, column])
+                    for row, t in enumerate(target_list)
+                }
+                self._cache_put(keys[query], result)
+                results[query] = dict(result)
+        return {q: results[q] for q in query_list}
+
+    def top_k(
+        self,
+        query: Node,
+        *,
+        k: "int | None" = None,
+        targets: "Iterable[Node] | None" = None,
+        params: "SimilarityParams | None" = None,
+    ) -> list[tuple[Node, float]]:
+        """Ranked top-k ``(answer, score)`` for an attached query node.
+
+        Tie-breaking matches :func:`repro.similarity.top_k.rank_answers`:
+        descending score, then ``repr`` of the answer id.
+        """
+        params = params if params is not None else self.params
+        scores = self.scores_for_query(query, targets, params=params)
+        limit = k if k is not None else params.k
+        if limit < 1:
+            raise ValueError(f"k must be at least 1, got {limit}")
+        ordered = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
+        return ordered[:limit]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        built = self._matrix.shape[0] if self._matrix is not None else None
+        return (
+            f"<SimilarityEngine version={self.version} nodes={built} "
+            f"cache={len(self._cache)}/{self._cache_size}>"
+        )

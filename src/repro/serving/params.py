@@ -1,0 +1,107 @@
+"""Similarity-evaluation parameters, bundled.
+
+The trio ``(k, max_length, restart_prob)`` — the list length, the walk
+pruning threshold ``L``, and the restart probability ``c`` — used to be
+copy-pasted as three keyword arguments through every layer of the stack
+(``QASystem``, ``rank_answers``, the evaluation harness, and the three
+optimization drivers).  :class:`SimilarityParams` replaces the triple
+with one validated, immutable value object that is threaded through all
+of them; the old keyword arguments keep working behind a deprecation
+shim (:func:`resolve_similarity_params`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.similarity.inverse_pdistance import (
+    DEFAULT_MAX_LENGTH,
+    DEFAULT_RESTART_PROB,
+)
+from repro.utils.validation import check_fraction
+
+#: Paper default top-k list length (Section VII-A1).
+DEFAULT_K = 20
+
+
+@dataclass(frozen=True)
+class SimilarityParams:
+    """Parameters of the truncated inverse-P-distance similarity.
+
+    Parameters
+    ----------
+    k:
+        Length of returned answer lists (paper default 20).
+    max_length:
+        The walk pruning threshold ``L`` (Section IV-A, default 5).
+    restart_prob:
+        The restart probability ``c`` (Section III-A, default 0.15).
+
+    The object is frozen and hashable, so it can key caches and travel
+    through multiprocessing payloads unchanged.
+    """
+
+    k: int = DEFAULT_K
+    max_length: int = DEFAULT_MAX_LENGTH
+    restart_prob: float = DEFAULT_RESTART_PROB
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"k must be ≥ 1, got {self.k}")
+        if self.max_length < 1:
+            raise ValueError(
+                f"max_length must be at least 1, got {self.max_length}"
+            )
+        check_fraction("restart_prob", self.restart_prob)
+
+    def replace(self, **changes) -> "SimilarityParams":
+        """A copy with the given fields replaced (validated again)."""
+        return replace(self, **changes)
+
+
+def resolve_similarity_params(
+    params: "SimilarityParams | None" = None,
+    *,
+    k: "int | None" = None,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
+    default: "SimilarityParams | None" = None,
+    warn: bool = True,
+    stacklevel: int = 3,
+) -> SimilarityParams:
+    """Merge new-style ``params`` with legacy keyword arguments.
+
+    Precedence: an explicit ``params`` wins (combining it with legacy
+    keywords raises ``TypeError`` — the call is ambiguous); legacy
+    keywords override ``default`` field-by-field and emit a
+    ``DeprecationWarning``; otherwise ``default`` (or the paper-default
+    :class:`SimilarityParams`) is returned unchanged.
+    """
+    legacy = {
+        name: value
+        for name, value in (
+            ("k", k),
+            ("max_length", max_length),
+            ("restart_prob", restart_prob),
+        )
+        if value is not None
+    }
+    if params is not None:
+        if legacy:
+            raise TypeError(
+                "pass either params=SimilarityParams(...) or the legacy "
+                f"keyword arguments {sorted(legacy)}, not both"
+            )
+        return params
+    base = default if default is not None else SimilarityParams()
+    if not legacy:
+        return base
+    if warn:
+        warnings.warn(
+            f"the keyword arguments {sorted(legacy)} are deprecated; pass "
+            "params=SimilarityParams(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    return base.replace(**legacy)

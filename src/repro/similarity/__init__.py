@@ -17,6 +17,7 @@ Four evaluators, all measuring the paper's query–answer similarity
 from repro.similarity.ppr import ppr_scores, ppr_vector
 from repro.similarity.inverse_pdistance import (
     inverse_pdistance,
+    inverse_pdistance_batch,
     inverse_pdistance_single,
     similarity_profile,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "ppr_vector",
     "ppr_scores",
     "inverse_pdistance",
+    "inverse_pdistance_batch",
     "inverse_pdistance_single",
     "similarity_profile",
     "random_walk_similarity",

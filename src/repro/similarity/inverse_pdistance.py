@@ -38,13 +38,35 @@ DEFAULT_MAX_LENGTH = 5
 DEFAULT_RESTART_PROB = 0.15
 
 
+def _resolve_walk_params(max_length, restart_prob, params):
+    """Accept either ``params=SimilarityParams(...)`` or the bare pair.
+
+    Unlike the serving-layer shims, passing the bare pair here is *not*
+    deprecated — these are the primitive evaluators and the pair is
+    their natural signature; ``params`` is accepted for symmetry with
+    the layers above.
+    """
+    if params is not None:
+        if max_length is not None or restart_prob is not None:
+            raise TypeError(
+                "pass either params or max_length/restart_prob, not both"
+            )
+        return params.max_length, params.restart_prob
+    if max_length is None:
+        max_length = DEFAULT_MAX_LENGTH
+    if restart_prob is None:
+        restart_prob = DEFAULT_RESTART_PROB
+    return max_length, restart_prob
+
+
 def inverse_pdistance(
     graph: WeightedDiGraph,
     source: Node,
     targets: Iterable[Node],
     *,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
+    params=None,
 ) -> dict[Node, float]:
     """Truncated extended inverse P-distance from ``source`` to each target.
 
@@ -61,12 +83,19 @@ def inverse_pdistance(
         The pruning threshold ``L`` (number of edges per walk).
     restart_prob:
         The restart probability ``c``.
+    params:
+        Optional :class:`~repro.serving.params.SimilarityParams`
+        carrying ``max_length``/``restart_prob`` (its ``k`` is ignored
+        here); mutually exclusive with the bare arguments.
 
     Returns
     -------
     dict
         ``target -> Φ_L(source, target)``.
     """
+    max_length, restart_prob = _resolve_walk_params(
+        max_length, restart_prob, params
+    )
     check_fraction("restart_prob", restart_prob)
     if max_length < 1:
         raise ValueError(f"max_length must be at least 1, got {max_length}")
@@ -101,8 +130,9 @@ def inverse_pdistance_batch(
     sources: Iterable[Node],
     targets: Iterable[Node],
     *,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
+    params=None,
 ) -> dict[Node, dict[Node, float]]:
     """``Φ_L`` for many sources at once: one propagation of stacked vectors.
 
@@ -117,6 +147,9 @@ def inverse_pdistance_batch(
     dict
         ``source -> {target -> Φ_L(source, target)}``.
     """
+    max_length, restart_prob = _resolve_walk_params(
+        max_length, restart_prob, params
+    )
     check_fraction("restart_prob", restart_prob)
     if max_length < 1:
         raise ValueError(f"max_length must be at least 1, got {max_length}")
@@ -157,8 +190,9 @@ def inverse_pdistance_single(
     source: Node,
     target: Node,
     *,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
+    params=None,
 ) -> float:
     """``Φ_L(source, target)`` for a single pair."""
     return inverse_pdistance(
@@ -167,6 +201,7 @@ def inverse_pdistance_single(
         [target],
         max_length=max_length,
         restart_prob=restart_prob,
+        params=params,
     )[target]
 
 

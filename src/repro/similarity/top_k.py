@@ -14,21 +14,20 @@ from collections.abc import Iterable, Mapping, Sequence
 from repro.errors import EvaluationError
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
-from repro.similarity.inverse_pdistance import (
-    DEFAULT_MAX_LENGTH,
-    DEFAULT_RESTART_PROB,
-    inverse_pdistance,
-)
+from repro.serving.params import SimilarityParams, resolve_similarity_params
+from repro.similarity.inverse_pdistance import inverse_pdistance
 
 
 def rank_answers(
     aug: AugmentedGraph,
     query: Node,
     *,
-    k: int = 20,
+    params: "SimilarityParams | None" = None,
     answers: "Iterable[Node] | None" = None,
-    max_length: int = DEFAULT_MAX_LENGTH,
-    restart_prob: float = DEFAULT_RESTART_PROB,
+    engine=None,
+    k: "int | None" = None,
+    max_length: "int | None" = None,
+    restart_prob: "float | None" = None,
 ) -> list[tuple[Node, float]]:
     """Return the top-k ``(answer, similarity)`` pairs for ``query``.
 
@@ -38,20 +37,27 @@ def rank_answers(
         The augmented graph.
     query:
         A query node of ``aug``.
-    k:
-        List length (the paper's default top-k is 20).
+    params:
+        The :class:`~repro.serving.params.SimilarityParams` bundle
+        (``k``, ``max_length``, ``restart_prob``).
     answers:
         Candidate answers; defaults to every answer node in the graph.
-    max_length, restart_prob:
-        Passed to the extended-inverse-P-distance evaluator.
+    engine:
+        Optional :class:`~repro.serving.engine.SimilarityEngine`.  When
+        given, scores come from the engine's cached/incremental matrix
+        instead of a cold per-call adjacency rebuild; results are
+        bitwise identical.
+    k, max_length, restart_prob:
+        Deprecated; pass ``params`` instead.
 
     Notes
     -----
     Scores are sorted descending; exact ties are ordered by ``repr`` of
     the answer id, which is stable across runs and platforms.
     """
-    if k < 1:
-        raise ValueError(f"k must be at least 1, got {k}")
+    params = resolve_similarity_params(
+        params, k=k, max_length=max_length, restart_prob=restart_prob
+    )
     if not aug.is_query(query):
         raise EvaluationError(f"{query!r} is not a query node of the augmented graph")
     candidates = list(answers) if answers is not None else sorted(
@@ -59,15 +65,18 @@ def rank_answers(
     )
     if not candidates:
         raise EvaluationError("no candidate answers to rank")
-    scores = inverse_pdistance(
-        aug.graph,
-        query,
-        candidates,
-        max_length=max_length,
-        restart_prob=restart_prob,
-    )
+    if engine is not None:
+        scores = engine.scores_for_query(query, candidates, params=params)
+    else:
+        scores = inverse_pdistance(
+            aug.graph,
+            query,
+            candidates,
+            max_length=params.max_length,
+            restart_prob=params.restart_prob,
+        )
     ordered = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
-    return ordered[:k]
+    return ordered[: params.k]
 
 
 def rank_position(

@@ -1,0 +1,352 @@
+"""Tests for the versioned similarity serving subsystem.
+
+The load-bearing property: scores served by :class:`SimilarityEngine`
+from its incrementally maintained matrix are **bitwise** equal to a cold
+:func:`inverse_pdistance` recompute on the live graph, no matter how
+weight updates, query attach/detach, and document additions interleave.
+"""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError, NodeNotFoundError
+from repro.graph.augmented import AugmentedGraph
+from repro.graph.generators import random_digraph
+from repro.optimize.multi_vote import MultiVoteReport
+from repro.optimize.parallel import _init_pool, _pool_worker
+from repro.optimize.report import OptimizeReport
+from repro.optimize.single_vote import SingleVoteReport, VoteOutcome
+from repro.optimize.split_merge import SplitMergeReport
+from repro.serving import (
+    EngineStats,
+    SimilarityEngine,
+    SimilarityParams,
+    resolve_similarity_params,
+)
+from repro.similarity.inverse_pdistance import (
+    inverse_pdistance,
+    inverse_pdistance_batch,
+)
+
+PARAMS = SimilarityParams(k=5, max_length=6, restart_prob=0.2)
+
+
+def build_aug(seed=3, num_entities=12):
+    kg = random_digraph(num_entities, avg_degree=3.0, seed=seed, out_mass=0.9)
+    aug = AugmentedGraph(kg)
+    entities = sorted(kg.nodes())
+    for i in range(4):
+        aug.add_answer(
+            f"a{i}",
+            {
+                entities[(i + j) % len(entities)]: 1.0 + j
+                for j in range(3)
+            },
+        )
+    for i in range(3):
+        aug.add_query(
+            f"q{i}",
+            {
+                entities[i]: 1.0,
+                entities[(i + 5) % len(entities)]: 2.0,
+            },
+        )
+    return aug, entities
+
+
+def assert_engine_matches_cold(engine, aug, params=PARAMS):
+    """Every attached query: engine == cold recompute, batch == single."""
+    targets = sorted(aug.answer_nodes, key=repr)
+    queries = sorted(aug.query_nodes, key=repr)
+    if not targets or not queries:
+        return
+    batch = engine.score_batch(queries, targets, params=params)
+    for query in queries:
+        served = engine.scores_for_query(query, targets, params=params)
+        cold = inverse_pdistance(aug.graph, query, targets, params=params)
+        for target in targets:
+            assert served[target] == cold[target]  # bitwise, not approx
+            assert batch[query][target] == cold[target]
+
+
+class TestSimilarityParams:
+    def test_defaults_and_replace(self):
+        params = SimilarityParams()
+        assert params.k >= 1
+        tweaked = params.replace(k=3)
+        assert tweaked.k == 3
+        assert tweaked.max_length == params.max_length
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(k=0), dict(max_length=0), dict(restart_prob=0.0),
+         dict(restart_prob=1.5)],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises((ValueError, Exception)):
+            SimilarityParams(**kwargs)
+
+    def test_resolve_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning):
+            params = resolve_similarity_params(None, k=7)
+        assert params.k == 7
+
+    def test_resolve_both_is_error(self):
+        with pytest.raises(TypeError):
+            resolve_similarity_params(SimilarityParams(), k=7)
+
+    def test_resolve_params_passthrough_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            params = resolve_similarity_params(SimilarityParams(k=9))
+        assert params.k == 9
+
+
+class TestEngineBitwise:
+    def test_fresh_engine_matches_cold(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        assert_engine_matches_cold(engine, aug)
+
+    def test_batch_matches_cold_batch(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        targets = sorted(aug.answer_nodes, key=repr)
+        queries = sorted(aug.query_nodes, key=repr)
+        served = engine.score_batch(queries, targets, params=PARAMS)
+        cold = inverse_pdistance_batch(
+            aug.graph, queries, targets, params=PARAMS
+        )
+        for query in queries:
+            for target in targets:
+                assert served[query][target] == cold[query][target]
+
+    def test_weight_patch_matches_cold(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        assert_engine_matches_cold(engine, aug)
+        edges = sorted(
+            ((e.head, e.tail) for e in aug.kg_edges()), key=repr
+        )
+        for i, (head, tail) in enumerate(edges[:10]):
+            aug.set_kg_weight(head, tail, 0.05 + 0.01 * i)
+        assert_engine_matches_cold(engine, aug)
+        assert engine.stats().weight_patches == 10
+        assert engine.stats().builds == 1  # no rebuild for weight updates
+
+    def test_answer_append_matches_cold(self):
+        aug, entities = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        assert_engine_matches_cold(engine, aug)
+        aug.add_answer("a_new", {entities[0]: 2.0, entities[4]: 1.0})
+        assert_engine_matches_cold(engine, aug)
+        assert engine.stats().rows_appended == 1
+        assert engine.stats().builds == 1  # appended, not rebuilt
+
+    def test_query_churn_is_free(self):
+        aug, entities = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        assert_engine_matches_cold(engine, aug)
+        engine.scores_for_query("q1")
+        hits_before = engine.stats().cache_hits
+        aug.add_query("q_new", {entities[2]: 1.0})
+        aug.remove_query("q0")
+        # The matrix is untouched, so the cached vector is still valid.
+        engine.scores_for_query("q1")
+        assert engine.stats().cache_hits == hits_before + 1
+        assert_engine_matches_cold(engine, aug)
+        assert engine.stats().builds == 1  # query churn never rebuilds
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(
+                    [
+                        "weight",
+                        "query_attach",
+                        "query_detach",
+                        "answer_add",
+                        "answer_remove",
+                        "serve",
+                    ]
+                ),
+                st.integers(min_value=0, max_value=10**6),
+                st.floats(min_value=0.05, max_value=0.95),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_interleaved_mutations_stay_bitwise(self, ops):
+        aug, entities = build_aug(seed=11)
+        engine = SimilarityEngine(aug, params=PARAMS)
+        kg_edges = sorted(
+            ((e.head, e.tail) for e in aug.kg_edges()), key=repr
+        )
+        counter = {"q": 0, "a": 0}
+        for kind, idx, value in ops:
+            if kind == "weight":
+                head, tail = kg_edges[idx % len(kg_edges)]
+                aug.set_kg_weight(head, tail, value)
+            elif kind == "query_attach":
+                qid = f"hq{counter['q']}"
+                counter["q"] += 1
+                aug.add_query(
+                    qid,
+                    {
+                        entities[idx % len(entities)]: 1.0,
+                        entities[(idx + 3) % len(entities)]: value,
+                    },
+                )
+            elif kind == "query_detach":
+                attached = sorted(aug.query_nodes, key=repr)
+                if attached:
+                    aug.remove_query(attached[idx % len(attached)])
+            elif kind == "answer_add":
+                aid = f"ha{counter['a']}"
+                counter["a"] += 1
+                aug.add_answer(
+                    aid,
+                    {
+                        entities[idx % len(entities)]: value,
+                        entities[(idx + 1) % len(entities)]: 1.0,
+                    },
+                )
+            elif kind == "answer_remove":
+                extra = sorted(
+                    a for a in aug.answer_nodes if str(a).startswith("ha")
+                )
+                if extra:
+                    aug.remove_answer(extra[idx % len(extra)])
+            else:  # mid-sequence serve to exercise the flush paths
+                assert_engine_matches_cold(engine, aug)
+        assert_engine_matches_cold(engine, aug)
+
+
+class TestEngineBehaviour:
+    def test_cache_hits_and_version_invalidation(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        engine.scores_for_query("q0")
+        before = engine.stats()
+        engine.scores_for_query("q0")
+        after = engine.stats()
+        assert after.cache_hits == before.cache_hits + 1
+        edge = next(iter(aug.kg_edges()))
+        aug.set_kg_weight(edge.head, edge.tail, 0.42)
+        engine.scores_for_query("q0")
+        assert engine.stats().cache_hits == after.cache_hits  # new version
+        assert engine.stats().cache_misses > after.cache_misses
+
+    def test_cache_size_zero_disables(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS, cache_size=0)
+        engine.scores_for_query("q0")
+        engine.scores_for_query("q0")
+        stats = engine.stats()
+        assert stats.cache_hits == 0
+        assert stats.cache_entries == 0
+
+    def test_cache_is_bounded(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS, cache_size=2)
+        for query in sorted(aug.query_nodes, key=repr):
+            engine.scores_for_query(query)
+        assert engine.stats().cache_entries <= 2
+
+    def test_stats_snapshot_fields(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        engine.score_batch(sorted(aug.query_nodes, key=repr))
+        stats = engine.stats()
+        assert isinstance(stats, EngineStats)
+        assert stats.builds == 1
+        assert stats.batch_serves == 1
+        assert stats.graph_version == aug.version
+        assert set(stats.timings) == {"build", "propagate"}
+
+    def test_non_query_raises(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        with pytest.raises(EvaluationError):
+            engine.scores_for_query("a0")
+
+    def test_unknown_link_entity_raises(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        with pytest.raises(NodeNotFoundError):
+            engine.scores({"nonexistent": 1.0})
+
+    def test_close_detaches_listener(self):
+        aug, _ = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        engine.scores_for_query("q0")
+        engine.close()
+        edge = next(iter(aug.kg_edges()))
+        aug.set_kg_weight(edge.head, edge.tail, 0.3)  # must not blow up
+        assert engine._events == []
+
+    def test_virtual_query_scores(self):
+        aug, entities = build_aug()
+        engine = SimilarityEngine(aug, params=PARAMS)
+        links = {entities[0]: 0.5, entities[1]: 0.5}
+        served = engine.scores(links)
+        aug.add_query("q_virtual", {entities[0]: 1.0, entities[1]: 1.0})
+        cold = inverse_pdistance(
+            aug.graph,
+            "q_virtual",
+            sorted(aug.answer_nodes, key=repr),
+            params=PARAMS,
+        )
+        for target, score in served.items():
+            assert score == cold[target]
+
+
+class TestOptimizeReportContract:
+    @pytest.mark.parametrize(
+        "report",
+        [SingleVoteReport(), MultiVoteReport(), SplitMergeReport()],
+        ids=["single", "multi", "split-merge"],
+    )
+    def test_common_surface(self, report):
+        assert isinstance(report, OptimizeReport)
+        assert report.elapsed == 0.0
+        assert report.solve_time == 0.0
+        assert report.num_changed_edges == 0
+        assert report.strategy in report.summary()
+        assert "0 edge(s) changed" in report.summary()
+
+    def test_single_vote_changed_edges_merge(self):
+        report = SingleVoteReport(
+            outcomes=[
+                VoteOutcome(
+                    vote=None, solution=None,
+                    changed_edges={("a", "b"): (0.1, 0.2)},
+                ),
+                VoteOutcome(
+                    vote=None, solution=None,
+                    changed_edges={("a", "b"): (0.2, 0.3),
+                                   ("b", "c"): (0.4, 0.5)},
+                ),
+            ]
+        )
+        # Later votes win; the alias stays available.
+        assert report.changed_edges[("a", "b")] == (0.2, 0.3)
+        assert report.num_changed_edges == 2
+        assert report.all_changed_edges() == report.changed_edges
+
+
+class TestParallelPayloads:
+    def test_pool_worker_uses_initializer_graph(self):
+        aug, _ = build_aug()
+        votes = []
+        _init_pool(aug)
+        # The payload carries no graph — the worker must find it in the
+        # per-process global installed by the initializer.
+        result = _pool_worker((votes, 7, {"params": PARAMS}))
+        assert result.index == 7
+        assert result.num_votes == 0
