@@ -9,8 +9,18 @@ against a ~5k-edge graph under both configurations (scores are bitwise
 identical either way) and asserts the engine path is at least 5× faster.
 It also measures :meth:`QASystem.ask_many`, which shares one stacked
 propagation across a whole batch.
+
+Environment knobs (used by the CI smoke job):
+
+- ``BENCH_SMOKE=1`` — shrink the workload so the bench finishes in a
+  few seconds and relax the speedup floor accordingly;
+- ``BENCH_OUTPUT_DIR=DIR`` — write ``BENCH_serving_throughput.json``
+  (timings + speedups) and ``BENCH_metrics_snapshot.json`` (the full
+  observability registry snapshot) into ``DIR``.
 """
 
+import json
+import os
 import time
 
 from conftest import report
@@ -18,16 +28,31 @@ from conftest import report
 import numpy as np
 
 from repro.graph.generators import random_digraph
+from repro.obs import get_registry, set_trace_sampling
 from repro.qa import EntityVocabulary, QASystem
 from repro.serving import SimilarityParams
 from repro.utils.tables import format_table
 
-NUM_NODES = 1_250
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+OUTPUT_DIR = os.environ.get("BENCH_OUTPUT_DIR")
+
+NUM_NODES = 400 if SMOKE else 1_250
 AVG_DEGREE = 4.0
-NUM_DOCS = 60
+NUM_DOCS = 30 if SMOKE else 60
 NUM_QUESTIONS = 25
-NUM_ASKS = 500
+NUM_ASKS = 150 if SMOKE else 500
+#: Small smoke graphs leave less rebuild work to amortize, so the
+#: engine's edge over the seed path shrinks with the workload.
+MIN_SPEEDUP = 2.0 if SMOKE else 5.0
 PARAMS = SimilarityParams(k=8, max_length=5)
+
+# The production serving configuration: metrics stay always-on (the
+# snapshot artifact below still carries exact counts and latency
+# histograms), but per-request trace trees are head-sampled — an
+# always-on root span costs a few microseconds, which is real money at
+# cache-hit serving rates.  This keeps instrumentation overhead on the
+# measured ask loops under 5%.
+set_trace_sampling(100)
 
 
 def _build_system(*, use_engine):
@@ -110,7 +135,7 @@ def bench_serving_throughput(benchmark):
     ]
     report(
         format_table(
-            ["serving path", "500 asks", "q/s", "speedup"],
+            ["serving path", f"{NUM_ASKS} asks", "q/s", "speedup"],
             rows,
             title=(
                 f"Serving throughput on a {results['num_edges']}-edge graph "
@@ -121,9 +146,36 @@ def bench_serving_throughput(benchmark):
         )
     )
 
-    assert speedup >= 5.0, (
-        f"engine serving should be ≥5x the rebuild-per-call path, "
-        f"got {speedup:.1f}x ({engine_time:.3f}s vs {cold_time:.3f}s)"
+    if OUTPUT_DIR:
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        payload = {
+            "benchmark": "serving_throughput",
+            "smoke": SMOKE,
+            "num_edges": results["num_edges"],
+            "num_asks": NUM_ASKS,
+            "cold_seconds": cold_time,
+            "engine_seconds": engine_time,
+            "batch_seconds": batch_time,
+            "speedup": speedup,
+            "cache_hits": stats.cache_hits,
+            "builds": stats.builds,
+        }
+        with open(
+            os.path.join(OUTPUT_DIR, "BENCH_serving_throughput.json"),
+            "w", encoding="utf-8",
+        ) as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        from repro.obs import write_metrics_json
+
+        write_metrics_json(
+            os.path.join(OUTPUT_DIR, "BENCH_metrics_snapshot.json"),
+            get_registry(),
+        )
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"engine serving should be ≥{MIN_SPEEDUP:g}x the rebuild-per-call "
+        f"path, got {speedup:.1f}x ({engine_time:.3f}s vs {cold_time:.3f}s)"
     )
     assert stats.builds == 1  # the matrix was built exactly once
     assert stats.cache_hits > 0  # repeated questions hit the LRU

@@ -64,6 +64,15 @@ from repro.qa import (
 )
 from repro.eval import evaluate_test_set
 from repro.eval.harness import vote_omega_avg
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    last_trace,
+    metrics_to_prometheus,
+    recent_traces,
+    summary_table,
+    trace_span,
+)
 from repro.serving import EngineStats, SimilarityEngine, SimilarityParams
 
 __version__ = "1.0.0"
@@ -98,5 +107,12 @@ __all__ = [
     "SimilarityParams",
     "SimilarityEngine",
     "EngineStats",
+    "MetricsRegistry",
+    "get_registry",
+    "trace_span",
+    "last_trace",
+    "recent_traces",
+    "summary_table",
+    "metrics_to_prometheus",
     "__version__",
 ]

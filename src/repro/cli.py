@@ -10,22 +10,52 @@ Installed as the ``repro-kg`` console script::
 
 Every command prints aligned text tables (no plotting dependency) and
 exits non-zero on failure, so the CLI is scriptable in CI.
+
+Output goes through the ``repro.cli`` logger (``-v`` / ``--log-level``
+select verbosity); the long-running commands accept ``--metrics-json
+PATH`` to dump the observability registry snapshot after the run and
+print a cost breakdown of where the time went.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 import time
 from collections.abc import Sequence
 
 from repro.utils.tables import format_table
 
+_LOG = logging.getLogger("repro.cli")
+
+#: Commands that exercise the serving/optimization stack and therefore
+#: have a meaningful metrics snapshot to report afterwards.
+_INSTRUMENTED_COMMANDS = frozenset({"demo", "effectiveness", "scaling"})
+
+
+def _configure_logging(level_name: str) -> None:
+    """(Re)configure the CLI logger for one ``main()`` invocation.
+
+    The stream handler is rebuilt on every call so it binds whatever
+    ``sys.stdout`` currently is — required for pytest's ``capsys`` and
+    harmless elsewhere.  Messages are emitted bare (``%(message)s``):
+    the CLI's output is tables meant for humans, not log records.
+    """
+    level = getattr(logging, level_name.upper())
+    _LOG.setLevel(level)
+    for handler in list(_LOG.handlers):
+        _LOG.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    _LOG.addHandler(handler)
+    _LOG.propagate = False
+
 
 def _cmd_datasets(_args) -> int:
     from repro.eval.datasets import dataset_table
 
-    print(
+    _LOG.info(
         format_table(
             ["DataSet", "|V|", "|E|", "AverageDegree"],
             dataset_table(),
@@ -44,8 +74,8 @@ def _cmd_demo(args) -> int:
     system.add_documents(corpus.document_texts())
     question = corpus.train_pairs[0]
     answers = system.ask(question.text, question_id="cli-demo")
-    print(f"question: {question.text!r}")
-    print(
+    _LOG.info(f"question: {question.text!r}")
+    _LOG.info(
         format_table(
             ["rank", "document", "similarity"],
             [[i, doc, f"{score:.5f}"] for i, (doc, score) in enumerate(answers, 1)],
@@ -55,13 +85,13 @@ def _cmd_demo(args) -> int:
     voted = answers[min(2, len(answers) - 1)][0]
     system.vote("cli-demo", voted)
     report = system.optimize(strategy="multi", feasibility_filter=False)
-    print(
+    _LOG.info(
         f"\nvoted {voted!r}; optimized "
         f"({report.num_satisfied_constraints}/{report.num_constraints} "
         f"constraints satisfied, {len(report.changed_edges)} weights changed)"
     )
     reranked = system.ask(question.text, question_id="cli-demo-2")
-    print(
+    _LOG.info(
         format_table(
             ["rank", "document", "similarity"],
             [
@@ -128,7 +158,7 @@ def _cmd_effectiveness(args) -> int:
             [label, f"{result.r_avg:.2f}", omega, f"{result.mrr:.3f}",
              f"{result.hits[1]:.2f}", f"{result.hits[10]:.2f}"]
         )
-    print(
+    _LOG.info(
         format_table(
             ["Graph", "R_avg", "Omega_avg", "MRR", "H@1", "H@10"],
             rows,
@@ -174,7 +204,7 @@ def _cmd_scaling(args) -> int:
                 f"{vote_omega_avg(sm_graph, votes):+.2f}",
             ]
         )
-    print(
+    _LOG.info(
         format_table(
             ["votes", "Multi-V", "S-M", "Dist. S-M (4w)", "Ω multi", "Ω S-M"],
             rows,
@@ -209,7 +239,7 @@ def _cmd_similarity(args) -> int:
         inverse_pdistance(aug.graph, "query", answers)
         pd = time.perf_counter() - start
         rows.append([num_answers, f"{rw:.3f}s", f"{pd:.3f}s", f"{rw / pd:.0f}x"])
-    print(
+    _LOG.info(
         format_table(
             ["|A|", "Random Walk [5]", "Ext. Inverse P-Distance", "speedup"],
             rows,
@@ -227,6 +257,15 @@ def build_parser() -> argparse.ArgumentParser:
             "Voting-based knowledge-graph optimization "
             "(reproduction of Yang et al., ICDE 2020)"
         ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="debug verbosity (shortcut for --log-level debug)",
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["debug", "info", "warning", "error"],
+        help="logging threshold for CLI output (default: info)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -249,6 +288,12 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--votes", type=int, nargs="+", default=[5, 10, 20])
     scaling.add_argument("--seed", type=int, default=17)
 
+    for instrumented in (demo, eff, scaling):
+        instrumented.add_argument(
+            "--metrics-json", metavar="PATH", default=None,
+            help="dump the metrics registry snapshot to PATH after the run",
+        )
+
     sim = sub.add_parser("similarity", help="Table VI in miniature")
     sim.add_argument("--nodes", type=int, default=1000)
     sim.add_argument("--answers", type=int, nargs="+", default=[20, 40, 80])
@@ -266,14 +311,34 @@ _COMMANDS = {
 }
 
 
+def _report_run_costs(args) -> None:
+    """Print the cost breakdown and honour ``--metrics-json``."""
+    from repro.obs import get_registry, last_trace, summary_table
+    from repro.obs import write_metrics_json
+
+    registry = get_registry()
+    _LOG.info("\n" + summary_table(registry, title="cost breakdown"))
+    trace = last_trace()
+    if trace is not None:
+        _LOG.debug("\nlast trace:\n" + trace.render())
+    if getattr(args, "metrics_json", None):
+        write_metrics_json(args.metrics_json, registry)
+        _LOG.info(f"metrics snapshot written to {args.metrics_json}")
+
+
 def main(argv: "Sequence[str] | None" = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    level = args.log_level or ("debug" if args.verbose else "info")
+    _configure_logging(level)
     try:
-        return _COMMANDS[args.command](args)
+        code = _COMMANDS[args.command](args)
     except Exception as exc:  # surface a clean message, not a traceback
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if code == 0 and args.command in _INSTRUMENTED_COMMANDS:
+        _report_run_costs(args)
+    return code
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ from repro.eval.metrics import (
 )
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
+from repro.obs import trace_span
 from repro.serving.params import SimilarityParams
 from repro.similarity.inverse_pdistance import (
     inverse_pdistance,
@@ -166,28 +167,40 @@ def evaluate_test_set(
             raise EvaluationError(
                 f"ground-truth answer {best!r} for query {query!r} is not a candidate"
             )
-    # One stacked propagation scores every test query at once.
-    if engine is not None:
-        all_scores = engine.score_batch(list(test_pairs), pool, params=params)
-    else:
-        all_scores = inverse_pdistance_batch(
-            aug.graph,
-            list(test_pairs),
-            pool,
-            params=params,
+    with trace_span(
+        "eval.test_set",
+        num_queries=len(test_pairs),
+        num_candidates=len(pool),
+    ) as span:
+        # One stacked propagation scores every test query at once.
+        if engine is not None:
+            all_scores = engine.score_batch(
+                list(test_pairs), pool, params=params
+            )
+        else:
+            all_scores = inverse_pdistance_batch(
+                aug.graph,
+                list(test_pairs),
+                pool,
+                params=params,
+            )
+        ranks: list[int] = []
+        ranked_lists: list[list[Node]] = []
+        relevant_sets: list[set[Node]] = []
+        for query, best in test_pairs.items():
+            ranked = [
+                answer
+                for answer, _ in scores_to_ranked_list(all_scores[query])
+            ]
+            ranks.append(rank_position(ranked, best))
+            ranked_lists.append(ranked)
+            relevant_sets.append({best})
+        result = EvaluationResult(
+            ranks=ranks,
+            r_avg=average_rank(ranks),
+            mrr=mean_reciprocal_rank(ranks),
+            map_score=mean_average_precision(ranked_lists, relevant_sets),
+            hits={k: hits_at_k(ranks, k) for k in k_values},
         )
-    ranks: list[int] = []
-    ranked_lists: list[list[Node]] = []
-    relevant_sets: list[set[Node]] = []
-    for query, best in test_pairs.items():
-        ranked = [answer for answer, _ in scores_to_ranked_list(all_scores[query])]
-        ranks.append(rank_position(ranked, best))
-        ranked_lists.append(ranked)
-        relevant_sets.append({best})
-    return EvaluationResult(
-        ranks=ranks,
-        r_avg=average_rank(ranks),
-        mrr=mean_reciprocal_rank(ranks),
-        map_score=mean_average_precision(ranked_lists, relevant_sets),
-        hits={k: hits_at_k(ranks, k) for k in k_values},
-    )
+        span.set_attrs(r_avg=round(result.r_avg, 4), mrr=round(result.mrr, 4))
+    return result

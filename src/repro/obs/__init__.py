@@ -1,0 +1,73 @@
+"""Unified observability: metrics registry, tracing spans, exporters.
+
+Everything the serving and optimization layers emit flows through this
+package:
+
+- :mod:`repro.obs.metrics` — the process-wide :class:`MetricsRegistry`
+  of counters, gauges, and fixed-bucket latency histograms; hot-path
+  cheap, snapshot-able as a plain dict;
+- :mod:`repro.obs.tracing` — :func:`trace_span`, nested per-request
+  span trees collected into :class:`Trace` objects (JSONL-exportable,
+  console-renderable);
+- :mod:`repro.obs.exporters` — JSONL writers, Prometheus text
+  exposition, and :func:`summary_table` for end-of-run CLI breakdowns.
+
+See DESIGN.md § Observability for the span hierarchy and the metric
+naming/label conventions.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+)
+from repro.obs.tracing import (
+    Span,
+    Trace,
+    add_trace_listener,
+    clear_traces,
+    current_span,
+    last_trace,
+    recent_traces,
+    remove_trace_listener,
+    set_trace_sampling,
+    trace_span,
+)
+from repro.obs.exporters import (
+    JsonlTraceWriter,
+    metrics_to_prometheus,
+    summary_table,
+    traces_to_jsonl,
+    write_metrics_json,
+    write_traces_jsonl,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "Span",
+    "Trace",
+    "trace_span",
+    "set_trace_sampling",
+    "current_span",
+    "recent_traces",
+    "last_trace",
+    "clear_traces",
+    "add_trace_listener",
+    "remove_trace_listener",
+    "JsonlTraceWriter",
+    "traces_to_jsonl",
+    "write_traces_jsonl",
+    "write_metrics_json",
+    "metrics_to_prometheus",
+    "summary_table",
+]

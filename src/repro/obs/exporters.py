@@ -1,0 +1,163 @@
+"""Exporters: turn live telemetry into files and console artifacts.
+
+Three consumers, three formats:
+
+- **JSONL** — one JSON object per span (:func:`write_traces_jsonl`) or
+  one metrics snapshot per call (:func:`write_metrics_json`); the shapes
+  machines ingest;
+- **Prometheus text** (:func:`metrics_to_prometheus`) — the
+  ``name{label="v"} value`` exposition format, so a scrape endpoint is
+  one ``HTTPServer`` away;
+- **console table** (:func:`summary_table`) — built on
+  :func:`repro.utils.tables.format_table`, the same renderer every
+  experiment report uses; this is what the CLI prints after a run.
+
+A :class:`JsonlTraceWriter` can also be attached as a live trace
+listener so every finished request trace streams to disk as it closes.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import Trace, add_trace_listener, remove_trace_listener
+from repro.utils.tables import format_table
+
+__all__ = [
+    "traces_to_jsonl",
+    "write_traces_jsonl",
+    "write_metrics_json",
+    "metrics_to_prometheus",
+    "summary_table",
+    "JsonlTraceWriter",
+]
+
+
+def traces_to_jsonl(traces: Iterable[Trace]) -> str:
+    """Concatenate the span lines of many traces into one JSONL blob."""
+    lines: list[str] = []
+    for trace in traces:
+        lines.extend(trace.to_json_lines())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_traces_jsonl(path, traces: Iterable[Trace]) -> int:
+    """Write traces as JSONL to ``path``; returns the span-line count."""
+    blob = traces_to_jsonl(traces)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(blob)
+    return 0 if not blob else blob.count("\n")
+
+
+def write_metrics_json(path, registry: MetricsRegistry) -> dict:
+    """Dump ``registry.snapshot()`` as pretty JSON; returns the snapshot."""
+    snapshot = registry.snapshot()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return snapshot
+
+
+def metrics_to_prometheus(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition of every series in ``registry``."""
+    by_name: dict[str, list] = {}
+    for metric in registry.series().values():
+        by_name.setdefault(metric.name, []).append(metric)
+
+    lines: list[str] = []
+    for name in sorted(by_name):
+        metrics = by_name[name]
+        kind = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}[
+            type(metrics[0])
+        ]
+        lines.append(f"# TYPE {name} {kind}")
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                cumulative = metric.cumulative_counts()
+                bounds = [format(b, "g") for b in metric.buckets] + ["+Inf"]
+                for bound, count in zip(bounds, cumulative):
+                    labels = dict(metric.labels, le=bound)
+                    lines.append(f"{name}_bucket{_label_str(labels)} {count}")
+                lines.append(
+                    f"{name}_sum{_label_str(metric.labels)} {metric.sum:.9g}"
+                )
+                lines.append(
+                    f"{name}_count{_label_str(metric.labels)} {metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_label_str(metric.labels)} {metric.value:.9g}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{{{inner}}}"
+
+
+def summary_table(registry: MetricsRegistry, *, title: str = "metrics") -> str:
+    """Aligned console table of every series: name, type, value.
+
+    Histograms are summarized as ``count / total / mean`` — the numbers
+    an operator reads first; the full bucket detail stays in the
+    JSON/Prometheus exports.  Latency histograms (name ends in
+    ``_seconds``) get s/ms units; other histograms print bare numbers.
+    """
+    rows = []
+    for key, metric in sorted(registry.series().items()):
+        if isinstance(metric, Histogram):
+            mean = metric.sum / metric.count if metric.count else 0.0
+            if metric.name.endswith("_seconds"):
+                detail = (
+                    f"n={metric.count} sum={metric.sum:.4f}s "
+                    f"mean={mean * 1e3:.2f}ms"
+                )
+            else:
+                detail = (
+                    f"n={metric.count} sum={metric.sum:.4g} mean={mean:.4g}"
+                )
+            rows.append([key, "histogram", detail])
+        elif isinstance(metric, Gauge):
+            rows.append([key, "gauge", format(metric.value, ".6g")])
+        else:
+            rows.append([key, "counter", format(metric.value, ".6g")])
+    return format_table(["series", "type", "value"], rows, title=title)
+
+
+class JsonlTraceWriter:
+    """Streams every finished trace to a JSONL file as it closes.
+
+    Usable directly or as a context manager::
+
+        with JsonlTraceWriter("traces.jsonl"):
+            system.ask(...)          # spans stream to disk live
+    """
+
+    def __init__(self, path) -> None:
+        self._handle = open(path, "a", encoding="utf-8")
+        self._attached = False
+
+    def __call__(self, trace: Trace) -> None:
+        for line in trace.to_json_lines():
+            self._handle.write(line + "\n")
+        self._handle.flush()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        add_trace_listener(self)
+        self._attached = True
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._attached:
+            remove_trace_listener(self)
+            self._attached = False
+        if not self._handle.closed:
+            self._handle.close()

@@ -1,0 +1,274 @@
+"""The process-wide metrics registry: counters, gauges, histograms.
+
+Production serving needs numbers that are *always on*: cache hit rates,
+solve latency distributions, how many votes the feasibility judgment
+discarded today.  This module provides the smallest metric vocabulary
+that covers the repo — :class:`Counter` (monotonic), :class:`Gauge`
+(point-in-time), and :class:`Histogram` (fixed cumulative buckets, plus
+sum and count) — behind a :class:`MetricsRegistry` that hands out
+get-or-create instrument handles.
+
+Design constraints, in order:
+
+- **hot-path cheap**: an increment is one Python attribute add on a
+  pre-bound handle (callers bind ``registry.counter(...)`` once, at
+  construction time, never per event); a histogram observation is one
+  ``bisect`` into a precomputed bucket array;
+- **snapshot-able**: :meth:`MetricsRegistry.snapshot` returns a plain
+  JSON-serializable dict, so exporters (JSONL, Prometheus text, console
+  tables) never need to touch live instruments;
+- **label support**: instruments are keyed by ``(name, sorted labels)``
+  so several :class:`~repro.serving.engine.SimilarityEngine` instances
+  in one process each get their own ``engine="<n>"`` series while the
+  process-wide dump still sees everything.
+
+Naming convention (documented in DESIGN.md): ``<subsystem>_<what>_<unit>``
+with Prometheus-style suffixes — ``_total`` for counters,
+``_seconds`` for latency histograms (e.g. ``engine_cache_hits_total``,
+``sgp_solve_seconds``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+]
+
+#: Fixed latency buckets (seconds) shared by the serve/solve/propagate
+#: histograms: sub-millisecond cache hits through multi-second SGP solves.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _series_key(name: str, labels: Mapping[str, str]) -> str:
+    """Prometheus-style series key: ``name{k="v",...}`` (labels sorted)."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count (events, hits, discards)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be ≥ 0, got {amount}")
+        self.value += amount
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (cache size, graph version)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram with sum and count.
+
+    Buckets are upper bounds (``le``); an implicit ``+inf`` bucket
+    catches everything above the last bound, so ``observe`` never
+    drops a sample.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, str],
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.labels = dict(labels)
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # trailing +inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one sample (``le`` semantics: a sample exactly on a
+        bucket bound counts inside that bucket)."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> list[int]:
+        """Cumulative per-bucket counts (Prometheus ``le`` semantics)."""
+        out: list[int] = []
+        running = 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    def snapshot_value(self) -> dict:
+        cumulative = self.cumulative_counts()
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": {
+                **{format(b, "g"): cumulative[i] for i, b in enumerate(self.buckets)},
+                "+Inf": cumulative[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labeled instruments.
+
+    Instruments are identified by ``(name, labels)``; asking for the
+    same series twice returns the same object, and asking for an
+    existing name with a different instrument type raises — a name
+    means one thing process-wide.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._types: dict[str, type] = {}
+
+    def _get_or_create(self, cls, name: str, labels: Mapping[str, str], **kwargs):
+        key = _series_key(name, labels)
+        with self._lock:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {key!r} is a {type(existing).__name__}, "
+                        f"not a {cls.__name__}"
+                    )
+                return existing
+            declared = self._types.get(name)
+            if declared is not None and declared is not cls:
+                raise TypeError(
+                    f"metric name {name!r} is already registered as a "
+                    f"{declared.__name__}"
+                )
+            metric = cls(name, labels, **kwargs)
+            self._metrics[key] = metric
+            self._types[name] = cls
+            return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``(name, labels)`` (created on first use)."""
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``(name, labels)`` (created on first use)."""
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram for ``(name, labels)`` (created on first use).
+
+        ``buckets`` applies only on creation; later calls for the same
+        series return the existing instrument unchanged.
+        """
+        return self._get_or_create(Histogram, name, labels, buckets=buckets)
+
+    def series(self) -> dict[str, "Counter | Gauge | Histogram"]:
+        """Live instruments by series key (insertion-ordered)."""
+        with self._lock:
+            return dict(self._metrics)
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot: ``series key -> value`` (JSON-serializable).
+
+        Counters and gauges map to a float; histograms to
+        ``{"count", "sum", "buckets"}`` with cumulative bucket counts.
+        """
+        return {
+            key: metric.snapshot_value()
+            for key, metric in self.series().items()
+        }
+
+    def value(self, name: str, **labels: str) -> "float | dict | None":
+        """Snapshot value of one series, or ``None`` if never created."""
+        metric = self.series().get(_series_key(name, labels))
+        return None if metric is None else metric.snapshot_value()
+
+    def clear(self) -> None:
+        """Drop every instrument (tests and benchmark isolation)."""
+        with self._lock:
+            self._metrics.clear()
+            self._types.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<MetricsRegistry series={len(self._metrics)}>"
+
+
+#: The process-wide default registry (what the CLI dumps).
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    Tests use this to run against a throwaway registry and restore the
+    old one afterwards.
+    """
+    global _default_registry
+    if not isinstance(registry, MetricsRegistry):
+        raise TypeError(f"expected a MetricsRegistry, got {registry!r}")
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -21,8 +21,11 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import SGPModelError
 from repro.graph.augmented import AugmentedGraph
+from repro.obs import get_registry, trace_span
 from repro.optimize.apply import apply_edge_weights, solution_edge_weights
 from repro.optimize.encoder import (
     DEFAULT_LOWER,
@@ -38,11 +41,16 @@ from repro.optimize.objectives import (
     sigmoid_deviation_objective,
     step_count,
 )
-from repro.optimize.report import OptimizeReport
+from repro.optimize.report import OptimizeReport, record_optimize_run
 from repro.serving.params import SimilarityParams, resolve_similarity_params
 from repro.sgp.solver import SGPSolution, solve_sgp
 from repro.votes.feasibility import filter_feasible
 from repro.votes.types import Vote, VoteSet
+
+
+#: Fixed buckets for the deviation-variable magnitude histogram: the
+#: Eq. 15 deviations live on [0, ~1), far below the latency scale.
+DEVIATION_BUCKETS = (1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0)
 
 
 @dataclass
@@ -141,74 +149,98 @@ def solve_multi_vote(
     )
     max_length = params.max_length
     restart_prob = params.restart_prob
-    result = aug if in_place else aug.copy()
-    report = MultiVoteReport()
-    start = time.perf_counter()
+    with trace_span("optimize.multi_vote") as span:
+        result = aug if in_place else aug.copy()
+        report = MultiVoteReport()
+        start = time.perf_counter()
 
-    vote_list = list(votes)
-    if feasibility_filter:
-        filter_start = time.perf_counter()
-        kept, discarded = filter_feasible(
-            result,
-            VoteSet(vote_list),
-            max_length=max_length,
-            restart_prob=restart_prob,
+        vote_list = list(votes)
+        if feasibility_filter:
+            filter_start = time.perf_counter()
+            kept, discarded = filter_feasible(
+                result,
+                VoteSet(vote_list),
+                max_length=max_length,
+                restart_prob=restart_prob,
+            )
+            report.filter_time = time.perf_counter() - filter_start
+            report.discarded_votes = discarded
+            vote_list = list(kept)
+        if not vote_list:
+            report.elapsed = time.perf_counter() - start
+            span.set_attrs(num_votes=0, discarded=len(report.discarded_votes))
+            record_optimize_run(report)
+            return result, report
+
+        encode_start = time.perf_counter()
+        try:
+            with trace_span("optimize.encode", num_votes=len(vote_list)):
+                encoded = encode_votes(
+                    result,
+                    vote_list,
+                    use_deviations=True,
+                    max_length=max_length,
+                    restart_prob=restart_prob,
+                    margin=margin,
+                    lower=lower,
+                    upper=upper,
+                )
+        except SGPModelError:
+            # Nothing adjustable within reach of any vote: return unchanged.
+            report.elapsed = time.perf_counter() - start
+            span.set_attrs(num_votes=len(vote_list), encodable=False)
+            record_optimize_run(report)
+            return result, report
+        report.encode_time = time.perf_counter() - encode_start
+        report.encoded = encoded
+        report.num_votes_encoded = len(vote_list) - len(encoded.skipped_votes)
+        report.num_constraints = encoded.problem.num_constraints
+
+        num_vars = encoded.problem.num_vars
+        distance = distance_objective(
+            encoded.problem.x0[: encoded.num_edge_vars],
+            num_vars,
+            var_ids=range(encoded.num_edge_vars),
         )
-        report.filter_time = time.perf_counter() - filter_start
-        report.discarded_votes = discarded
-        vote_list = list(kept)
-    if not vote_list:
-        report.elapsed = time.perf_counter() - start
-        return result, report
-
-    encode_start = time.perf_counter()
-    try:
-        encoded = encode_votes(
-            result,
-            vote_list,
-            use_deviations=True,
-            max_length=max_length,
-            restart_prob=restart_prob,
-            margin=margin,
-            lower=lower,
-            upper=upper,
+        deviation = sigmoid_deviation_objective(
+            encoded.deviation_ids,
+            num_vars,
+            w=sigmoid_w,
+            weights=encoded.constraint_weights,
         )
-    except SGPModelError:
-        # Nothing adjustable within reach of any vote: return unchanged.
+        encoded.problem.set_objective(
+            combined_objective(distance, deviation, lambda1=lambda1, lambda2=lambda2)
+        )
+
+        solution = solve_sgp(encoded.problem, method=solver_method, max_iter=max_iter)
+        report.solve_time = solution.elapsed
+        report.solution = solution
+        report.num_violated_deviations = step_count(
+            encoded.deviation_values(solution.x)
+        )
+        deviations = np.abs(encoded.deviation_values(solution.x))
+        if deviations.size:
+            deviation_hist = get_registry().histogram(
+                "optimize_deviation_magnitude", buckets=DEVIATION_BUCKETS
+            )
+            for magnitude in deviations:
+                deviation_hist.observe(float(magnitude))
+        span.set_attrs(
+            num_votes=len(vote_list),
+            num_constraints=report.num_constraints,
+            num_satisfied=report.num_satisfied_constraints,
+            num_violated_deviations=report.num_violated_deviations,
+            max_deviation=float(deviations.max()) if deviations.size else 0.0,
+            max_residual=solution.max_residual,
+            solver_nit=solution.nit,
+        )
+
+        report.changed_edges = apply_edge_weights(
+            result,
+            solution_edge_weights(encoded, solution),
+            normalize=normalize,
+        )
         report.elapsed = time.perf_counter() - start
+        span.set_attrs(changed_edges=len(report.changed_edges))
+        record_optimize_run(report)
         return result, report
-    report.encode_time = time.perf_counter() - encode_start
-    report.encoded = encoded
-    report.num_votes_encoded = len(vote_list) - len(encoded.skipped_votes)
-    report.num_constraints = encoded.problem.num_constraints
-
-    num_vars = encoded.problem.num_vars
-    distance = distance_objective(
-        encoded.problem.x0[: encoded.num_edge_vars],
-        num_vars,
-        var_ids=range(encoded.num_edge_vars),
-    )
-    deviation = sigmoid_deviation_objective(
-        encoded.deviation_ids,
-        num_vars,
-        w=sigmoid_w,
-        weights=encoded.constraint_weights,
-    )
-    encoded.problem.set_objective(
-        combined_objective(distance, deviation, lambda1=lambda1, lambda2=lambda2)
-    )
-
-    solution = solve_sgp(encoded.problem, method=solver_method, max_iter=max_iter)
-    report.solve_time = solution.elapsed
-    report.solution = solution
-    report.num_violated_deviations = step_count(
-        encoded.deviation_values(solution.x)
-    )
-
-    report.changed_edges = apply_edge_weights(
-        result,
-        solution_edge_weights(encoded, solution),
-        normalize=normalize,
-    )
-    report.elapsed = time.perf_counter() - start
-    return result, report

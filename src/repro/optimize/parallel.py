@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 from repro.graph.augmented import AugmentedGraph
+from repro.obs import trace_span
 from repro.optimize.apply import weight_deltas
 from repro.votes.types import Vote
 
@@ -60,7 +61,15 @@ def solve_one_cluster(
     """
     from repro.optimize.multi_vote import solve_multi_vote  # local: avoid cycle
 
-    _graph, report = solve_multi_vote(aug, list(cluster_votes), **options)
+    with trace_span(
+        "optimize.cluster", index=index, num_votes=len(cluster_votes)
+    ) as span:
+        _graph, report = solve_multi_vote(aug, list(cluster_votes), **options)
+        span.set_attrs(
+            num_constraints=report.num_constraints,
+            num_satisfied=report.num_satisfied_constraints,
+            num_discarded=len(report.discarded_votes),
+        )
     return ClusterResult(
         index=index,
         num_votes=len(cluster_votes),
@@ -127,26 +136,41 @@ def solve_clusters_parallel(
     payloads = [
         (list(cluster), index, opts) for index, cluster in enumerate(clusters)
     ]
-    if num_workers == 1 or len(payloads) <= 1:
-        return [
-            solve_one_cluster(aug, cluster_votes, index, options_)
-            for cluster_votes, index, options_ in payloads
-        ]
-    try:
-        context = multiprocessing.get_context("fork")
-        with context.Pool(
-            processes=min(num_workers, len(payloads)),
-            initializer=_init_pool,
-            initargs=(aug,),
-        ) as pool:
-            results = pool.map(_pool_worker, payloads)
-    except (OSError, ValueError):
-        # Sandboxed environments may forbid subprocesses; degrade gracefully.
-        results = [
-            solve_one_cluster(aug, cluster_votes, index, options_)
-            for cluster_votes, index, options_ in payloads
-        ]
-    return sorted(results, key=lambda r: r.index)
+    with trace_span(
+        "optimize.solve_clusters",
+        num_clusters=len(payloads),
+        num_workers=num_workers,
+    ) as span:
+        if num_workers == 1 or len(payloads) <= 1:
+            span.set_attrs(pool=False)
+            return [
+                solve_one_cluster(aug, cluster_votes, index, options_)
+                for cluster_votes, index, options_ in payloads
+            ]
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(
+                processes=min(num_workers, len(payloads)),
+                initializer=_init_pool,
+                initargs=(aug,),
+            ) as pool:
+                results = pool.map(_pool_worker, payloads)
+            # Worker-side spans/metrics live in the worker processes;
+            # surface the measured per-cluster times on this span so the
+            # parent trace still shows where the wall-clock went.
+            span.set_attrs(
+                pool=True,
+                cluster_seconds=[round(r.elapsed, 6) for r in results],
+            )
+        except (OSError, ValueError):
+            # Sandboxed environments may forbid subprocesses; degrade
+            # gracefully.
+            span.set_attrs(pool=False, pool_unavailable=True)
+            results = [
+                solve_one_cluster(aug, cluster_votes, index, options_)
+                for cluster_votes, index, options_ in payloads
+            ]
+        return sorted(results, key=lambda r: r.index)
 
 
 def simulated_makespan(

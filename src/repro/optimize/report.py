@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import get_registry
+
 
 @dataclass
 class OptimizeReport:
@@ -49,3 +51,21 @@ class OptimizeReport:
             f"{self.strategy}: {self.num_changed_edges} edge(s) changed in "
             f"{self.elapsed:.3f}s (solve {self.solve_time:.3f}s)"
         )
+
+
+def record_optimize_run(report: OptimizeReport) -> None:
+    """Registry telemetry for one finished optimization run.
+
+    Called by every driver just before returning — including the early
+    returns where all votes were filtered or nothing was encodable, so
+    ``optimize_runs_total`` counts attempts, not successes.
+    """
+    registry = get_registry()
+    strategy = report.strategy
+    registry.counter("optimize_runs_total", strategy=strategy).inc()
+    registry.histogram("optimize_run_seconds", strategy=strategy).observe(
+        report.elapsed
+    )
+    registry.counter("optimize_changed_edges_total", strategy=strategy).inc(
+        len(report.changed_edges)
+    )

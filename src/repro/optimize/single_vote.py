@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import SGPModelError, SGPSolverError
 from repro.graph.augmented import AugmentedGraph
+from repro.obs import trace_span
 from repro.optimize.apply import apply_edge_weights, solution_edge_weights
 from repro.optimize.encoder import (
     DEFAULT_LOWER,
@@ -29,7 +30,7 @@ from repro.optimize.encoder import (
     encode_votes,
 )
 from repro.optimize.objectives import distance_signomial
-from repro.optimize.report import OptimizeReport
+from repro.optimize.report import OptimizeReport, record_optimize_run
 from repro.serving.params import SimilarityParams, resolve_similarity_params
 from repro.sgp.solver import SGPSolution, solve_sgp
 from repro.votes.types import Vote, VoteSet
@@ -142,57 +143,76 @@ def solve_single_votes(
     )
     max_length = params.max_length
     restart_prob = params.restart_prob
-    result = aug if in_place else aug.copy()
-    report = SingleVoteReport()
-    start = time.perf_counter()
-    negative = [v for v in votes if v.is_negative]
-    for vote in negative:
-        encode_start = time.perf_counter()
-        try:
-            encoded = encode_votes(
-                result,
-                [vote],
-                use_deviations=False,
-                max_length=max_length,
-                restart_prob=restart_prob,
-                margin=margin,
-                lower=lower,
-                upper=upper,
-            )
-        except SGPModelError as exc:
-            report.outcomes.append(
-                VoteOutcome(vote=vote, solution=None, skipped_reason=str(exc))
-            )
-            continue
-        if not encoded.constraint_votes:
-            report.outcomes.append(
-                VoteOutcome(
-                    vote=vote, solution=None, skipped_reason="no constraints"
+    with trace_span("optimize.single_vote") as span:
+        result = aug if in_place else aug.copy()
+        report = SingleVoteReport()
+        start = time.perf_counter()
+        negative = [v for v in votes if v.is_negative]
+        for index, vote in enumerate(negative):
+            with trace_span(
+                "optimize.vote", index=index, query=str(vote.query)
+            ) as vote_span:
+                encode_start = time.perf_counter()
+                try:
+                    encoded = encode_votes(
+                        result,
+                        [vote],
+                        use_deviations=False,
+                        max_length=max_length,
+                        restart_prob=restart_prob,
+                        margin=margin,
+                        lower=lower,
+                        upper=upper,
+                    )
+                except SGPModelError as exc:
+                    vote_span.set_attrs(skipped=str(exc))
+                    report.outcomes.append(
+                        VoteOutcome(vote=vote, solution=None, skipped_reason=str(exc))
+                    )
+                    continue
+                if not encoded.constraint_votes:
+                    vote_span.set_attrs(skipped="no constraints")
+                    report.outcomes.append(
+                        VoteOutcome(
+                            vote=vote, solution=None, skipped_reason="no constraints"
+                        )
+                    )
+                    continue
+                report.encode_time += time.perf_counter() - encode_start
+
+                initial = encoded.problem.x0[: encoded.num_edge_vars]
+                encoded.problem.set_objective(distance_signomial(initial))
+                try:
+                    solution = solve_sgp(
+                        encoded.problem, method=solver_method, max_iter=max_iter
+                    )
+                except SGPSolverError as exc:
+                    vote_span.set_attrs(skipped=str(exc))
+                    report.outcomes.append(
+                        VoteOutcome(vote=vote, solution=None, skipped_reason=str(exc))
+                    )
+                    continue
+                report.solve_time += solution.elapsed
+
+                changes = apply_edge_weights(
+                    result,
+                    solution_edge_weights(encoded, solution),
+                    normalize=normalize,
                 )
-            )
-            continue
-        report.encode_time += time.perf_counter() - encode_start
-
-        initial = encoded.problem.x0[: encoded.num_edge_vars]
-        encoded.problem.set_objective(distance_signomial(initial))
-        try:
-            solution = solve_sgp(
-                encoded.problem, method=solver_method, max_iter=max_iter
-            )
-        except SGPSolverError as exc:
-            report.outcomes.append(
-                VoteOutcome(vote=vote, solution=None, skipped_reason=str(exc))
-            )
-            continue
-        report.solve_time += solution.elapsed
-
-        changes = apply_edge_weights(
-            result,
-            solution_edge_weights(encoded, solution),
-            normalize=normalize,
+                vote_span.set_attrs(
+                    changed_edges=len(changes),
+                    solver_nit=solution.nit,
+                    max_residual=solution.max_residual,
+                )
+                report.outcomes.append(
+                    VoteOutcome(vote=vote, solution=solution, changed_edges=changes)
+                )
+        report.elapsed = time.perf_counter() - start
+        span.set_attrs(
+            num_votes=len(negative),
+            num_solved=report.num_solved,
+            num_skipped=report.num_skipped,
+            changed_edges=len(report.changed_edges),
         )
-        report.outcomes.append(
-            VoteOutcome(vote=vote, solution=solution, changed_edges=changes)
-        )
-    report.elapsed = time.perf_counter() - start
-    return result, report
+        record_optimize_run(report)
+        return result, report

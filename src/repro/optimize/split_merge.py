@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.clustering.affinity_propagation import cluster_votes
 from repro.clustering.similarity import vote_edge_sets, vote_similarity_matrix
 from repro.graph.augmented import AugmentedGraph
+from repro.obs import trace_span
 from repro.optimize.apply import apply_edge_weights
 from repro.optimize.encoder import DEFAULT_LOWER, DEFAULT_MARGIN, DEFAULT_UPPER
 from repro.optimize.merge import merge_changes, merged_weights
@@ -31,7 +32,7 @@ from repro.optimize.parallel import (
     solve_clusters_parallel,
     solve_one_cluster,
 )
-from repro.optimize.report import OptimizeReport
+from repro.optimize.report import OptimizeReport, record_optimize_run
 from repro.serving.params import SimilarityParams, resolve_similarity_params
 from repro.votes.types import Vote, VoteSet
 
@@ -147,64 +148,84 @@ def solve_split_merge(
     params = resolve_similarity_params(
         params, max_length=max_length, restart_prob=restart_prob
     )
-    result = aug if in_place else aug.copy()
-    report = SplitMergeReport()
-    start = time.perf_counter()
-    vote_list = list(votes)
-    if not vote_list:
+    with trace_span("optimize.split_merge") as span:
+        result = aug if in_place else aug.copy()
+        report = SplitMergeReport()
+        start = time.perf_counter()
+        vote_list = list(votes)
+        if not vote_list:
+            report.elapsed = time.perf_counter() - start
+            span.set_attrs(num_votes=0)
+            record_optimize_run(report)
+            return result, report
+
+        # --- split -------------------------------------------------------
+        split_start = time.perf_counter()
+        with trace_span("optimize.split", num_votes=len(vote_list)) as split_span:
+            edge_sets = vote_edge_sets(
+                result, vote_list, max_length=params.max_length
+            )
+            similarity = vote_similarity_matrix(edge_sets)
+            clusters = cluster_votes(
+                similarity, preference=preference, damping=damping
+            )
+            split_span.set_attrs(num_clusters=len(clusters))
+        report.clusters = clusters
+        report.split_time = time.perf_counter() - split_start
+
+        # --- per-cluster solves -------------------------------------------
+        options = dict(
+            lambda1=lambda1,
+            lambda2=lambda2,
+            sigmoid_w=sigmoid_w,
+            feasibility_filter=feasibility_filter,
+            params=params,
+            margin=margin,
+            lower=lower,
+            upper=upper,
+            solver_method=solver_method,
+            max_iter=max_iter,
+            normalize=normalize,
+        )
+        cluster_vote_lists = [[vote_list[i] for i in cluster] for cluster in clusters]
+        if num_workers > 1:
+            results = solve_clusters_parallel(
+                result, cluster_vote_lists, num_workers=num_workers, options=options
+            )
+        else:
+            results = [
+                solve_one_cluster(result, cluster, index, options)
+                for index, cluster in enumerate(cluster_vote_lists)
+            ]
+        report.cluster_results = results
+        report.solve_time_total = sum(r.elapsed for r in results)
+        report.solve_time = report.solve_time_total
+        report.solve_time_max = max((r.elapsed for r in results), default=0.0)
+
+        # --- merge ---------------------------------------------------------
+        merge_start = time.perf_counter()
+        with trace_span("optimize.merge", num_clusters=len(results)) as merge_span:
+            contributing = [
+                (r.deltas, r.total_weight or r.num_votes) for r in results
+            ]
+            if any(deltas for deltas, _ in contributing):
+                merged = merge_changes(contributing)
+                base = {
+                    edge: result.graph.weight(*edge) for edge in merged
+                }
+                new_weights = merged_weights(base, merged, lower=lower, upper=upper)
+                report.merged_deltas = merged
+                report.changed_edges = apply_edge_weights(
+                    result, new_weights, normalize=normalize
+                )
+            merge_span.set_attrs(changed_edges=len(report.changed_edges))
+        report.merge_time = time.perf_counter() - merge_start
         report.elapsed = time.perf_counter() - start
+        span.set_attrs(
+            num_votes=len(vote_list),
+            num_clusters=report.num_clusters,
+            avg_cluster_size=report.average_cluster_size,
+            changed_edges=len(report.changed_edges),
+        )
+        record_optimize_run(report)
         return result, report
-
-    # --- split -------------------------------------------------------
-    split_start = time.perf_counter()
-    edge_sets = vote_edge_sets(result, vote_list, max_length=params.max_length)
-    similarity = vote_similarity_matrix(edge_sets)
-    clusters = cluster_votes(similarity, preference=preference, damping=damping)
-    report.clusters = clusters
-    report.split_time = time.perf_counter() - split_start
-
-    # --- per-cluster solves -------------------------------------------
-    options = dict(
-        lambda1=lambda1,
-        lambda2=lambda2,
-        sigmoid_w=sigmoid_w,
-        feasibility_filter=feasibility_filter,
-        params=params,
-        margin=margin,
-        lower=lower,
-        upper=upper,
-        solver_method=solver_method,
-        max_iter=max_iter,
-        normalize=normalize,
-    )
-    cluster_vote_lists = [[vote_list[i] for i in cluster] for cluster in clusters]
-    if num_workers > 1:
-        results = solve_clusters_parallel(
-            result, cluster_vote_lists, num_workers=num_workers, options=options
-        )
-    else:
-        results = [
-            solve_one_cluster(result, cluster, index, options)
-            for index, cluster in enumerate(cluster_vote_lists)
-        ]
-    report.cluster_results = results
-    report.solve_time_total = sum(r.elapsed for r in results)
-    report.solve_time = report.solve_time_total
-    report.solve_time_max = max((r.elapsed for r in results), default=0.0)
-
-    # --- merge ---------------------------------------------------------
-    merge_start = time.perf_counter()
-    contributing = [(r.deltas, r.total_weight or r.num_votes) for r in results]
-    if any(deltas for deltas, _ in contributing):
-        merged = merge_changes(contributing)
-        base = {
-            edge: result.graph.weight(*edge) for edge in merged
-        }
-        new_weights = merged_weights(base, merged, lower=lower, upper=upper)
-        report.merged_deltas = merged
-        report.changed_edges = apply_edge_weights(
-            result, new_weights, normalize=normalize
-        )
-    report.merge_time = time.perf_counter() - merge_start
-    report.elapsed = time.perf_counter() - start
-    return result, report

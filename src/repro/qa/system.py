@@ -21,11 +21,13 @@ behind a deprecation shim.
 from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
+from time import perf_counter
 
 from repro.errors import CorpusError, EvaluationError, VoteError
 from repro.eval.harness import EvaluationResult, evaluate_test_set
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import WeightedDiGraph
+from repro.obs import get_registry, trace_span
 from repro.optimize.multi_vote import solve_multi_vote
 from repro.optimize.report import OptimizeReport
 from repro.optimize.single_vote import solve_single_votes
@@ -90,6 +92,10 @@ class QASystem:
         self._shown: dict[str, tuple[str, ...]] = {}
         self._votes = VoteSet()
         self._question_counter = 0
+        registry = get_registry()
+        self._m_asks = registry.counter("qa_asks_total")
+        self._m_votes = registry.counter("qa_votes_total")
+        self._h_ask = registry.histogram("qa_ask_seconds")
 
     # ------------------------------------------------------------------
     # parameters
@@ -211,13 +217,21 @@ class QASystem:
         """
         if question_id is None:
             question_id = self._next_question_id()
-        self._attach_question(question, question_id)
-        ranked = rank_answers(
-            self._aug,
-            question_id,
-            params=self._params,
-            engine=self._engine,
-        )
+        started = perf_counter()  # span.duration is 0 when sampled out
+        with trace_span("qa.ask") as span:
+            self._attach_question(question, question_id)
+            ranked = rank_answers(
+                self._aug,
+                question_id,
+                params=self._params,
+                engine=self._engine,
+            )
+            if span.recording:
+                span.set_attrs(
+                    question_id=question_id, num_answers=len(ranked)
+                )
+        self._m_asks.inc()
+        self._h_ask.observe(perf_counter() - started)
         return self._record_shown(question_id, ranked)
 
     def ask_many(
@@ -245,36 +259,49 @@ class QASystem:
             ``question_id -> ranked (doc, score) list``, in input order;
             shown lists are recorded for :meth:`vote` like ``ask``'s.
         """
-        attached: list[str] = []
-        for question_id, text in questions.items():
-            try:
-                self._attach_question(text, question_id)
-            except CorpusError:
-                if skip_unlinkable:
-                    continue
-                raise
-            attached.append(question_id)
-        if not attached:
-            return {}
-        if self._engine is not None:
-            all_scores = self._engine.score_batch(
-                attached, params=self._params
-            )
-            results: dict[str, list[tuple[str, float]]] = {}
-            for question_id in attached:
-                ordered = sorted(
-                    all_scores[question_id].items(),
-                    key=lambda item: (-item[1], repr(item[0])),
-                )[: self._params.k]
-                results[question_id] = self._record_shown(question_id, ordered)
-            return results
-        return {
-            question_id: self._record_shown(
-                question_id,
-                rank_answers(self._aug, question_id, params=self._params),
-            )
-            for question_id in attached
-        }
+        started = perf_counter()
+        with trace_span("qa.ask_many") as span:
+            attached: list[str] = []
+            for question_id, text in questions.items():
+                try:
+                    self._attach_question(text, question_id)
+                except CorpusError:
+                    if skip_unlinkable:
+                        continue
+                    raise
+                attached.append(question_id)
+            if span.recording:
+                span.set_attrs(
+                    num_questions=len(questions), num_attached=len(attached)
+                )
+            if not attached:
+                return {}
+            if self._engine is not None:
+                all_scores = self._engine.score_batch(
+                    attached, params=self._params
+                )
+                results: dict[str, list[tuple[str, float]]] = {}
+                for question_id in attached:
+                    ordered = sorted(
+                        all_scores[question_id].items(),
+                        key=lambda item: (-item[1], repr(item[0])),
+                    )[: self._params.k]
+                    results[question_id] = self._record_shown(
+                        question_id, ordered
+                    )
+            else:
+                results = {
+                    question_id: self._record_shown(
+                        question_id,
+                        rank_answers(
+                            self._aug, question_id, params=self._params
+                        ),
+                    )
+                    for question_id in attached
+                }
+        self._m_asks.inc(len(attached))
+        self._h_ask.observe(perf_counter() - started)
+        return results
 
     def vote(self, question_id: str, best_doc: str) -> Vote:
         """Record the user's vote for ``question_id``'s best document.
@@ -294,6 +321,7 @@ class QASystem:
             )
         vote = Vote(query=question_id, ranked_answers=shown, best_answer=best_doc)
         self._votes.add(vote)
+        self._m_votes.inc()
         return vote
 
     @property
@@ -344,22 +372,29 @@ class QASystem:
             restart_prob=options.pop("restart_prob", None),
             default=self._params,
         )
-        if strategy == "multi":
-            _, report = solve_multi_vote(
-                self._aug, self._votes, in_place=True, **options
-            )
-        elif strategy == "single":
-            _, report = solve_single_votes(
-                self._aug, self._votes, in_place=True, **options
-            )
-        elif strategy == "split-merge":
-            _, report = solve_split_merge(
-                self._aug, self._votes, in_place=True, **options
-            )
-        else:
-            raise ValueError(
-                f"unknown strategy {strategy!r}; expected 'multi', 'single', "
-                f"or 'split-merge'"
+        with trace_span(
+            "qa.optimize", strategy=strategy, num_votes=len(self._votes)
+        ) as span:
+            if strategy == "multi":
+                _, report = solve_multi_vote(
+                    self._aug, self._votes, in_place=True, **options
+                )
+            elif strategy == "single":
+                _, report = solve_single_votes(
+                    self._aug, self._votes, in_place=True, **options
+                )
+            elif strategy == "split-merge":
+                _, report = solve_split_merge(
+                    self._aug, self._votes, in_place=True, **options
+                )
+            else:
+                raise ValueError(
+                    f"unknown strategy {strategy!r}; expected 'multi', "
+                    f"'single', or 'split-merge'"
+                )
+            span.set_attrs(
+                changed_edges=report.num_changed_edges,
+                elapsed=round(report.elapsed, 6),
             )
         if clear_votes:
             self._votes = VoteSet()

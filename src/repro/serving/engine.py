@@ -36,6 +36,7 @@ products, mirroring :func:`repro.similarity.inverse_pdistance.inverse_pdistance_
 
 from __future__ import annotations
 
+import itertools
 import time
 from collections import OrderedDict
 from collections.abc import Iterable, Mapping, Sequence
@@ -47,15 +48,26 @@ from scipy import sparse
 from repro.errors import EvaluationError, NodeNotFoundError
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
+from repro.obs import MetricsRegistry, get_registry, trace_span
 from repro.serving.params import SimilarityParams, resolve_similarity_params
 
 #: Default bound on the per-query score-vector LRU cache.
 DEFAULT_CACHE_SIZE = 256
 
+#: Distinguishes the metric series of multiple engines in one process.
+_ENGINE_SEQ = itertools.count()
+
 
 @dataclass
 class EngineStats:
-    """Point-in-time snapshot of the engine's observability counters."""
+    """Point-in-time snapshot of the engine's observability counters.
+
+    Since the :mod:`repro.obs` migration this is a *compatibility view*:
+    the live counts are registry metrics (``engine_*`` series labeled
+    with this engine's id); :meth:`SimilarityEngine.stats` materializes
+    them back into this dataclass so existing dashboards, benchmarks,
+    and tests keep working unchanged.
+    """
 
     #: Graph version the engine last served against.
     graph_version: int = 0
@@ -98,6 +110,10 @@ class SimilarityEngine:
         Default :class:`SimilarityParams`; per-call overrides accepted.
     cache_size:
         Bound on the per-query score-vector LRU cache (0 disables it).
+    registry:
+        The :class:`~repro.obs.MetricsRegistry` receiving the engine's
+        ``engine_*`` metric series (labeled ``engine="<n>"`` per
+        instance).  Defaults to the process-wide registry.
 
     Notes
     -----
@@ -115,6 +131,7 @@ class SimilarityEngine:
         *,
         params: "SimilarityParams | None" = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be ≥ 0, got {cache_size}")
@@ -127,9 +144,29 @@ class SimilarityEngine:
         self._index: dict[Node, int] = {}
         self._pos: dict[tuple[Node, Node], int] = {}
         self._events: list[tuple] = []
-        self._stats = EngineStats()
         self._listener = self._on_mutation
         aug.graph.add_listener(self._listener)
+        # Metric handles are bound once here so hot-path increments are
+        # a single attribute add, never a registry lookup.
+        self.registry = registry if registry is not None else get_registry()
+        self.engine_label = str(next(_ENGINE_SEQ))
+        label = {"engine": self.engine_label}
+        counter = self.registry.counter
+        self._m_builds = counter("engine_builds_total", **label)
+        self._m_rebuilds_avoided = counter("engine_rebuilds_avoided_total", **label)
+        self._m_weight_patches = counter("engine_weight_patches_total", **label)
+        self._m_rows_appended = counter("engine_rows_appended_total", **label)
+        self._m_query_events = counter("engine_query_events_ignored_total", **label)
+        self._m_cache_hits = counter("engine_cache_hits_total", **label)
+        self._m_cache_misses = counter("engine_cache_misses_total", **label)
+        self._m_serves = counter("engine_serves_total", **label)
+        self._m_batch_serves = counter("engine_batch_serves_total", **label)
+        self._g_cache_entries = self.registry.gauge("engine_cache_entries", **label)
+        self._g_version = self.registry.gauge("engine_graph_version", **label)
+        self._h_build = self.registry.histogram("engine_build_seconds", **label)
+        self._h_propagate = self.registry.histogram(
+            "engine_propagate_seconds", **label
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -147,19 +184,33 @@ class SimilarityEngine:
         return self._aug.graph.version
 
     def stats(self) -> EngineStats:
-        """A snapshot of the observability counters."""
-        snapshot = EngineStats(**{
-            f: getattr(self._stats, f)
-            for f in self._stats.__dataclass_fields__
-            if f != "timings"
-        })
-        snapshot.graph_version = self.version
-        snapshot.cache_entries = len(self._cache)
-        snapshot.timings = {
-            "build": self._stats.build_time,
-            "propagate": self._stats.propagate_time,
-        }
-        return snapshot
+        """A snapshot of the observability counters.
+
+        Materialized from this engine's registry series — the legacy
+        :class:`EngineStats` view and the registry snapshot agree on
+        every counter by construction.
+        """
+        self._g_cache_entries.set(len(self._cache))
+        self._g_version.set(self.version)
+        return EngineStats(
+            graph_version=self.version,
+            builds=int(self._m_builds.value),
+            rebuilds_avoided=int(self._m_rebuilds_avoided.value),
+            weight_patches=int(self._m_weight_patches.value),
+            rows_appended=int(self._m_rows_appended.value),
+            query_events_ignored=int(self._m_query_events.value),
+            cache_hits=int(self._m_cache_hits.value),
+            cache_misses=int(self._m_cache_misses.value),
+            cache_entries=len(self._cache),
+            serves=int(self._m_serves.value),
+            batch_serves=int(self._m_batch_serves.value),
+            build_time=self._h_build.sum,
+            propagate_time=self._h_propagate.sum,
+            timings={
+                "build": self._h_build.sum,
+                "propagate": self._h_propagate.sum,
+            },
+        )
 
     # ------------------------------------------------------------------
     # mutation feed
@@ -189,12 +240,13 @@ class SimilarityEngine:
             self._rebuild()
             return
         if not events:
-            self._stats.rebuilds_avoided += 1
+            self._m_rebuilds_avoided.inc()
             return
         patches: list[tuple[int, float]] = []
         new_answers: list[Node] = []
         new_answer_set: set[Node] = set()
         rebuild = False
+        ignored = 0  # transient-query events, counted in one batch below
         for event in events:
             kind = event[0]
             if kind == "update_weight":
@@ -205,7 +257,7 @@ class SimilarityEngine:
                 elif tail in new_answer_set or self._is_transient(head) or (
                     self._is_transient(tail)
                 ):
-                    self._stats.query_events_ignored += 1
+                    ignored += 1
                 else:
                     rebuild = True
                     break
@@ -215,7 +267,7 @@ class SimilarityEngine:
                     new_answers.append(node)
                     new_answer_set.add(node)
                 elif self._is_transient(node):
-                    self._stats.query_events_ignored += 1
+                    ignored += 1
                 else:
                     rebuild = True  # a new entity: sparsity pattern changes
                     break
@@ -224,7 +276,7 @@ class SimilarityEngine:
                 if tail in new_answer_set:
                     continue  # the appended row is read from the live graph
                 if self._is_transient(head) or self._is_transient(tail):
-                    self._stats.query_events_ignored += 1
+                    ignored += 1
                     continue
                 position = self._pos.get((head, tail))
                 if position is not None:
@@ -235,10 +287,12 @@ class SimilarityEngine:
             else:  # "remove_edge" / "remove_node"
                 involved = event[1:3] if kind == "remove_edge" else event[1:2]
                 if any(self._is_transient(node) for node in involved):
-                    self._stats.query_events_ignored += 1
+                    ignored += 1
                     continue
                 rebuild = True
                 break
+        if ignored:
+            self._m_query_events.inc(ignored)
         if rebuild:
             self._rebuild()
             return
@@ -246,7 +300,7 @@ class SimilarityEngine:
             data = self._matrix.data
             for position, weight in patches:
                 data[position] = weight
-            self._stats.weight_patches += len(patches)
+            self._m_weight_patches.inc(len(patches))
             self._epoch += 1
         if new_answers:
             try:
@@ -255,7 +309,7 @@ class SimilarityEngine:
                 self._rebuild()
                 return
             self._epoch += 1
-        self._stats.rebuilds_avoided += 1
+        self._m_rebuilds_avoided.inc()
 
     def _rebuild(self) -> None:
         """Rebuild the base matrix from the live graph (the safe path).
@@ -267,44 +321,46 @@ class SimilarityEngine:
         so propagation results match it bitwise.
         """
         started = time.perf_counter()
-        graph = self._aug.graph
-        queries = self._aug.query_nodes
-        nodes = [node for node in graph.nodes() if node not in queries]
-        index = {node: i for i, node in enumerate(nodes)}
-        per_row: list[list[tuple[int, float, tuple[Node, Node]]]] = [
-            [] for _ in nodes
-        ]
-        for head in nodes:
-            j = index[head]
-            for tail, weight in graph.successors(head).items():
-                if tail in queries:
-                    continue  # unsupported by construction; be safe
-                per_row[index[tail]].append((j, weight, (head, tail)))
-        data: list[float] = []
-        indices: list[int] = []
-        indptr = [0]
-        positions: dict[tuple[Node, Node], int] = {}
-        for row in per_row:
-            row.sort(key=lambda entry: entry[0])
-            for j, weight, key in row:
-                positions[key] = len(data)
-                indices.append(j)
-                data.append(weight)
-            indptr.append(len(data))
-        n = len(nodes)
-        self._matrix = sparse.csr_matrix(
-            (
-                np.asarray(data, dtype=float),
-                np.asarray(indices, dtype=np.int32),
-                np.asarray(indptr, dtype=np.int32),
-            ),
-            shape=(n, n),
-        )
-        self._index = index
-        self._pos = positions
-        self._epoch += 1
-        self._stats.builds += 1
-        self._stats.build_time += time.perf_counter() - started
+        with trace_span("engine.rebuild") as span:
+            graph = self._aug.graph
+            queries = self._aug.query_nodes
+            nodes = [node for node in graph.nodes() if node not in queries]
+            index = {node: i for i, node in enumerate(nodes)}
+            per_row: list[list[tuple[int, float, tuple[Node, Node]]]] = [
+                [] for _ in nodes
+            ]
+            for head in nodes:
+                j = index[head]
+                for tail, weight in graph.successors(head).items():
+                    if tail in queries:
+                        continue  # unsupported by construction; be safe
+                    per_row[index[tail]].append((j, weight, (head, tail)))
+            data: list[float] = []
+            indices: list[int] = []
+            indptr = [0]
+            positions: dict[tuple[Node, Node], int] = {}
+            for row in per_row:
+                row.sort(key=lambda entry: entry[0])
+                for j, weight, key in row:
+                    positions[key] = len(data)
+                    indices.append(j)
+                    data.append(weight)
+                indptr.append(len(data))
+            n = len(nodes)
+            self._matrix = sparse.csr_matrix(
+                (
+                    np.asarray(data, dtype=float),
+                    np.asarray(indices, dtype=np.int32),
+                    np.asarray(indptr, dtype=np.int32),
+                ),
+                shape=(n, n),
+            )
+            self._index = index
+            self._pos = positions
+            self._epoch += 1
+            span.set_attrs(nodes=n, edges=len(data))
+        self._m_builds.inc()
+        self._h_build.observe(time.perf_counter() - started)
 
     def _append_answer_rows(self, answers: Sequence[Node]) -> None:
         """Grow the matrix by one empty column + one in-link row per answer.
@@ -341,8 +397,8 @@ class SimilarityEngine:
             ),
             shape=(n, n),
         )
-        self._stats.rows_appended += len(answers)
-        self._stats.build_time += time.perf_counter() - started
+        self._m_rows_appended.inc(len(answers))
+        self._h_build.observe(time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # serving
@@ -382,10 +438,10 @@ class SimilarityEngine:
             return None
         scores = self._cache.get(key)
         if scores is None:
-            self._stats.cache_misses += 1
+            self._m_cache_misses.inc()
             return None
         self._cache.move_to_end(key)
-        self._stats.cache_hits += 1
+        self._m_cache_hits.inc()
         return scores
 
     def _cache_put(self, key, scores) -> None:
@@ -395,6 +451,7 @@ class SimilarityEngine:
         self._cache.move_to_end(key)
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
+        self._g_cache_entries.set(len(self._cache))
 
     def _propagate_one(
         self, links: Mapping[Node, float], target_idx: np.ndarray, params
@@ -406,22 +463,25 @@ class SimilarityEngine:
         bitwise equal to a cold recompute on the full graph.
         """
         started = time.perf_counter()
-        matrix = self._matrix
-        mass = np.zeros(matrix.shape[0])
-        for entity, weight in links.items():
-            mass[self._index[entity]] = weight
-        damping = 1.0 - params.restart_prob
-        factor = params.restart_prob
-        factor *= damping
-        scores = np.zeros(len(target_idx))
-        scores += factor * mass[target_idx]
-        for _ in range(params.max_length - 1):
-            mass = matrix @ mass
+        with trace_span(
+            "engine.propagate", batch=1, max_length=params.max_length
+        ):
+            matrix = self._matrix
+            mass = np.zeros(matrix.shape[0])
+            for entity, weight in links.items():
+                mass[self._index[entity]] = weight
+            damping = 1.0 - params.restart_prob
+            factor = params.restart_prob
             factor *= damping
-            if not mass.any():
-                break
+            scores = np.zeros(len(target_idx))
             scores += factor * mass[target_idx]
-        self._stats.propagate_time += time.perf_counter() - started
+            for _ in range(params.max_length - 1):
+                mass = matrix @ mass
+                factor *= damping
+                if not mass.any():
+                    break
+                scores += factor * mass[target_idx]
+        self._h_propagate.observe(time.perf_counter() - started)
         return scores
 
     def _propagate_many(
@@ -432,23 +492,28 @@ class SimilarityEngine:
     ) -> np.ndarray:
         """Stacked propagation: one dense block, ``L`` sparse products."""
         started = time.perf_counter()
-        matrix = self._matrix
-        mass = np.zeros((matrix.shape[0], len(link_columns)))
-        for column, links in enumerate(link_columns):
-            for entity, weight in links.items():
-                mass[self._index[entity], column] = weight
-        damping = 1.0 - params.restart_prob
-        factor = params.restart_prob
-        factor *= damping
-        scores = np.zeros((len(target_idx), len(link_columns)))
-        scores += factor * mass[target_idx, :]
-        for _ in range(params.max_length - 1):
-            mass = matrix @ mass
+        with trace_span(
+            "engine.propagate",
+            batch=len(link_columns),
+            max_length=params.max_length,
+        ):
+            matrix = self._matrix
+            mass = np.zeros((matrix.shape[0], len(link_columns)))
+            for column, links in enumerate(link_columns):
+                for entity, weight in links.items():
+                    mass[self._index[entity], column] = weight
+            damping = 1.0 - params.restart_prob
+            factor = params.restart_prob
             factor *= damping
-            if not mass.any():
-                break
+            scores = np.zeros((len(target_idx), len(link_columns)))
             scores += factor * mass[target_idx, :]
-        self._stats.propagate_time += time.perf_counter() - started
+            for _ in range(params.max_length - 1):
+                mass = matrix @ mass
+                factor *= damping
+                if not mass.any():
+                    break
+                scores += factor * mass[target_idx, :]
+        self._h_propagate.observe(time.perf_counter() - started)
         return scores
 
     def scores(
@@ -467,7 +532,7 @@ class SimilarityEngine:
         """
         params = params if params is not None else self.params
         target_list = self._resolve_targets(targets)
-        self._stats.serves += 1
+        self._m_serves.inc()
         self._flush()
         key = self._cache_key(links, target_list, params)
         cached = self._cache_get(key)
@@ -509,7 +574,7 @@ class SimilarityEngine:
         query_list = list(queries)
         if not query_list:
             return {}
-        self._stats.batch_serves += 1
+        self._m_batch_serves.inc()
         self._flush()
         links_by_query = {q: self._seed_links(q) for q in query_list}
         results: dict[Node, dict[Node, float]] = {}

@@ -32,6 +32,7 @@ from scipy import optimize
 from scipy.special import logsumexp
 
 from repro.errors import SGPSolverError
+from repro.obs import get_registry, trace_span
 from repro.sgp.problem import SGPProblem
 from repro.sgp.solver import SGPSolution
 from repro.sgp.terms import Signomial
@@ -140,100 +141,122 @@ def solve_by_condensation(
             "condensation requires a signomial objective; the sigmoid "
             "multi-vote objective is not signomial — use solve_sgp instead"
         )
-    start = time.perf_counter()
-    n = problem.num_vars
-    t_var = n  # index of the epigraph variable
-    offset = 1.0
-
-    # Epigraph constraint: p0 + offset − t − q0 ≤ 0.
-    epigraph = objective_sig.copy()
-    epigraph.add_term(offset, {})
-    epigraph.add_term(-1.0, {t_var: 1.0})
-
-    signomials = [epigraph] + [c.signomial for c in problem.constraints]
-    margins = [0.0] + [c.margin for c in problem.constraints]
-    splits = [split_signomial(s) for s in signomials]
-
-    lower = np.append(problem.lower, 1e-9)
-    upper = np.append(problem.upper, 1e9)
-    x = np.append(problem.x0.copy(), 0.0)
-    x[t_var] = max(objective_sig.evaluate(problem.x0) + offset, 1e-6)
-    x = np.clip(x, lower, upper)
-
-    y_lower, y_upper = np.log(lower), np.log(upper)
-    best_feasible: "np.ndarray | None" = None
-    nit_total = 0
-    for _round in range(max_rounds):
-        # Build the condensed GP at the current point.
-        log_constraints = []
-        feasible_model = True
-        for (p, q), margin in zip(splits, margins):
-            numerator = p.copy()
-            if margin:
-                numerator.add_term(margin, {})
-            if numerator.num_terms == 0:
-                continue  # trivially satisfied: 0 ≤ q
-            if q.num_terms == 0:
-                # posynomial ≤ 0 is unsatisfiable on the positive orthant
-                feasible_model = False
-                break
-            q_hat = condense_posynomial(q, x)
-            ((q_coeff, q_exps),) = list(q_hat.terms())
-            # p / q̂ ≤ 1: divide every numerator term by the monomial.
-            ratio = Signomial()
-            for coeff, exps in numerator.terms():
-                merged = dict(exps)
-                for var, exp in q_exps.items():
-                    merged[var] = merged.get(var, 0.0) - exp
-                ratio.add_term(coeff / q_coeff, merged)
-            log_constraints.append(_LogSpacePosynomial(ratio, n + 1))
-        if not feasible_model:
-            raise SGPSolverError(
-                "a constraint has no negative terms and a positive margin: "
-                "the program is structurally infeasible"
-            )
-
-        def objective_fn(y):
-            grad = np.zeros(n + 1)
-            grad[t_var] = 1.0
-            return float(y[t_var]), grad
-
-        scipy_constraints = [
-            {
-                "type": "ineq",
-                "fun": (lambda y, _c=c: -_c.value_and_grad(y)[0]),
-                "jac": (lambda y, _c=c: -_c.value_and_grad(y)[1]),
-            }
-            for c in log_constraints
-        ]
-        result = optimize.minimize(
-            objective_fn,
-            np.log(x),
-            jac=True,
-            method="SLSQP",
-            bounds=optimize.Bounds(y_lower, y_upper),
-            constraints=scipy_constraints,
-            options={"maxiter": inner_max_iter, "ftol": 1e-12},
-        )
-        nit_total += int(result.get("nit", 0))
-        x_new = np.clip(np.exp(result.x), lower, upper)
-        moved = float(np.abs(x_new[:n] - x[:n]).max())
-        x = x_new
-        if problem.num_satisfied(x[:n]) == problem.num_constraints:
-            best_feasible = x.copy()
-        if moved < x_tol:
-            break
-
-    final = best_feasible if best_feasible is not None else x
-    x_out = np.clip(final[:n], problem.lower, problem.upper)
-    return SGPSolution(
-        x=x_out,
-        objective_value=float(problem.objective.value(x_out)),
-        num_satisfied=problem.num_satisfied(x_out),
+    with trace_span(
+        "sgp.condensation",
+        num_vars=problem.num_vars,
         num_constraints=problem.num_constraints,
-        success=best_feasible is not None,
-        method="condensation",
-        message=f"condensation finished after {_round + 1} rounds",
-        elapsed=time.perf_counter() - start,
-        nit=nit_total,
-    )
+    ) as span:
+        start = time.perf_counter()
+        n = problem.num_vars
+        t_var = n  # index of the epigraph variable
+        offset = 1.0
+
+        # Epigraph constraint: p0 + offset − t − q0 ≤ 0.
+        epigraph = objective_sig.copy()
+        epigraph.add_term(offset, {})
+        epigraph.add_term(-1.0, {t_var: 1.0})
+
+        signomials = [epigraph] + [c.signomial for c in problem.constraints]
+        margins = [0.0] + [c.margin for c in problem.constraints]
+        splits = [split_signomial(s) for s in signomials]
+
+        lower = np.append(problem.lower, 1e-9)
+        upper = np.append(problem.upper, 1e9)
+        x = np.append(problem.x0.copy(), 0.0)
+        x[t_var] = max(objective_sig.evaluate(problem.x0) + offset, 1e-6)
+        x = np.clip(x, lower, upper)
+
+        y_lower, y_upper = np.log(lower), np.log(upper)
+        best_feasible: "np.ndarray | None" = None
+        nit_total = 0
+        for _round in range(max_rounds):
+            # Build the condensed GP at the current point.
+            log_constraints = []
+            feasible_model = True
+            for (p, q), margin in zip(splits, margins):
+                numerator = p.copy()
+                if margin:
+                    numerator.add_term(margin, {})
+                if numerator.num_terms == 0:
+                    continue  # trivially satisfied: 0 ≤ q
+                if q.num_terms == 0:
+                    # posynomial ≤ 0 is unsatisfiable on the positive orthant
+                    feasible_model = False
+                    break
+                q_hat = condense_posynomial(q, x)
+                ((q_coeff, q_exps),) = list(q_hat.terms())
+                # p / q̂ ≤ 1: divide every numerator term by the monomial.
+                ratio = Signomial()
+                for coeff, exps in numerator.terms():
+                    merged = dict(exps)
+                    for var, exp in q_exps.items():
+                        merged[var] = merged.get(var, 0.0) - exp
+                    ratio.add_term(coeff / q_coeff, merged)
+                log_constraints.append(_LogSpacePosynomial(ratio, n + 1))
+            if not feasible_model:
+                raise SGPSolverError(
+                    "a constraint has no negative terms and a positive margin: "
+                    "the program is structurally infeasible"
+                )
+
+            def objective_fn(y):
+                grad = np.zeros(n + 1)
+                grad[t_var] = 1.0
+                return float(y[t_var]), grad
+
+            scipy_constraints = [
+                {
+                    "type": "ineq",
+                    "fun": (lambda y, _c=c: -_c.value_and_grad(y)[0]),
+                    "jac": (lambda y, _c=c: -_c.value_and_grad(y)[1]),
+                }
+                for c in log_constraints
+            ]
+            result = optimize.minimize(
+                objective_fn,
+                np.log(x),
+                jac=True,
+                method="SLSQP",
+                bounds=optimize.Bounds(y_lower, y_upper),
+                constraints=scipy_constraints,
+                options={"maxiter": inner_max_iter, "ftol": 1e-12},
+            )
+            nit_total += int(result.get("nit", 0))
+            x_new = np.clip(np.exp(result.x), lower, upper)
+            moved = float(np.abs(x_new[:n] - x[:n]).max())
+            x = x_new
+            if problem.num_satisfied(x[:n]) == problem.num_constraints:
+                best_feasible = x.copy()
+            if moved < x_tol:
+                break
+
+        final = best_feasible if best_feasible is not None else x
+        x_out = np.clip(final[:n], problem.lower, problem.upper)
+        residuals = problem.constraint_values(x_out)
+        max_residual = float(residuals.max()) if residuals.size else 0.0
+        solution = SGPSolution(
+            x=x_out,
+            objective_value=float(problem.objective.value(x_out)),
+            num_satisfied=int((residuals <= 1e-9).sum()),
+            num_constraints=problem.num_constraints,
+            success=best_feasible is not None,
+            method="condensation",
+            message=f"condensation finished after {_round + 1} rounds",
+            elapsed=time.perf_counter() - start,
+            nit=nit_total,
+            extras={"max_residual": max_residual, "rounds": _round + 1},
+        )
+        span.set_attrs(
+            rounds=_round + 1,
+            nit=nit_total,
+            num_satisfied=solution.num_satisfied,
+            max_residual=max_residual,
+            success=solution.success,
+        )
+    registry = get_registry()
+    registry.counter("sgp_solves_total", method="condensation").inc()
+    registry.counter("sgp_condensation_rounds_total").inc(_round + 1)
+    registry.histogram("sgp_solve_seconds").observe(solution.elapsed)
+    if not solution.all_satisfied:
+        registry.counter("sgp_partial_solutions_total").inc()
+    return solution

@@ -23,6 +23,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.errors import SGPSolverError
+from repro.obs import get_registry, trace_span
 from repro.sgp.problem import SGPProblem
 
 
@@ -68,6 +69,13 @@ class SGPSolution:
         """Whether every constraint holds at the solution."""
         return self.num_satisfied == self.num_constraints
 
+    @property
+    def max_residual(self) -> float:
+        """Largest constraint violation ``max_i f_i(x) + margin_i`` at the
+        solution (≤ 0 means fully feasible; 0.0 for unconstrained
+        programs)."""
+        return float(self.extras.get("max_residual", 0.0))
+
 
 def _scipy_constraints(problem: SGPProblem) -> list[dict]:
     """SLSQP-style constraint dicts: ``fun(x) ≥ 0`` per constraint."""
@@ -90,16 +98,26 @@ def _finalize(problem: SGPProblem, x: np.ndarray, *, success: bool, method: str,
                message: str, elapsed: float, nit: int) -> SGPSolution:
     x = np.clip(np.asarray(x, dtype=float), problem.lower, problem.upper)
     value = problem.objective.value(x)
+    # Evaluate the constraint vector once and derive both the
+    # satisfaction census and the residual telemetry from it.
+    if problem.constraints:
+        residuals = problem.constraint_values(x)
+        num_satisfied = int((residuals <= 1e-9).sum())
+        max_residual = float(residuals.max())
+    else:
+        num_satisfied = 0
+        max_residual = 0.0
     return SGPSolution(
         x=x,
         objective_value=float(value),
-        num_satisfied=problem.num_satisfied(x),
+        num_satisfied=num_satisfied,
         num_constraints=problem.num_constraints,
         success=success,
         method=method,
         message=message,
         elapsed=elapsed,
         nit=nit,
+        extras={"max_residual": max_residual},
     )
 
 
@@ -263,25 +281,56 @@ def solve_sgp(
     """
     problem.compile()
     problem.objective  # raises early when unset
-    if method == "slsqp":
-        solution = _solve_slsqp(problem, max_iter=max_iter, tol=tol)
-    elif method == "trust-constr":
-        solution = _solve_trust_constr(problem, max_iter=max_iter, tol=tol)
-    elif method == "penalty":
-        return _solve_penalty(problem, max_iter=max_iter, tol=tol)
-    else:
-        raise SGPSolverError(
-            f"unknown method {method!r}; expected 'slsqp', 'trust-constr', "
-            f"or 'penalty'"
-        )
+    with trace_span(
+        "sgp.solve",
+        method=method,
+        num_vars=problem.num_vars,
+        num_constraints=problem.num_constraints,
+    ) as span:
+        if method == "slsqp":
+            solution = _solve_slsqp(problem, max_iter=max_iter, tol=tol)
+        elif method == "trust-constr":
+            solution = _solve_trust_constr(problem, max_iter=max_iter, tol=tol)
+        elif method == "penalty":
+            solution = _solve_penalty(problem, max_iter=max_iter, tol=tol)
+        else:
+            raise SGPSolverError(
+                f"unknown method {method!r}; expected 'slsqp', 'trust-constr', "
+                f"or 'penalty'"
+            )
 
-    if fallback and not solution.success and not solution.all_satisfied:
-        retry = _solve_penalty(problem, max_iter=max_iter, tol=tol)
-        if (retry.num_satisfied, -retry.objective_value) >= (
-            solution.num_satisfied,
-            -solution.objective_value,
+        if (
+            fallback
+            and method != "penalty"
+            and not solution.success
+            and not solution.all_satisfied
         ):
-            retry.method = f"{solution.method}+penalty"
-            retry.elapsed += solution.elapsed
-            return retry
+            retry = _solve_penalty(problem, max_iter=max_iter, tol=tol)
+            if (retry.num_satisfied, -retry.objective_value) >= (
+                solution.num_satisfied,
+                -solution.objective_value,
+            ):
+                retry.method = f"{solution.method}+penalty"
+                retry.elapsed += solution.elapsed
+                solution = retry
+        span.set_attrs(
+            resolved_method=solution.method,
+            nit=solution.nit,
+            num_satisfied=solution.num_satisfied,
+            max_residual=solution.max_residual,
+            success=solution.success,
+        )
+    _record_solve_metrics(solution)
     return solution
+
+
+def _record_solve_metrics(solution: SGPSolution) -> None:
+    """Registry telemetry for one finished solve (any method)."""
+    registry = get_registry()
+    registry.counter("sgp_solves_total", method=solution.method).inc()
+    registry.histogram("sgp_solve_seconds").observe(solution.elapsed)
+    registry.counter("sgp_iterations_total").inc(max(solution.nit, 0))
+    if "+penalty" in solution.method:
+        registry.counter("sgp_fallbacks_total").inc()
+    if not solution.all_satisfied:
+        registry.counter("sgp_partial_solutions_total").inc()

@@ -45,6 +45,13 @@ class Stopwatch:
         self.elapsed = 0.0
         self._started_at = None
 
+    def __enter__(self) -> "Stopwatch":
+        """``with Stopwatch() as sw:`` times the block into ``sw.elapsed``."""
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
 
 @contextmanager
 def timed(store: dict, key: str):
@@ -53,8 +60,9 @@ def timed(store: dict, key: str):
     Durations for repeated keys accumulate, which matches how the paper
     reports "elapsed time" for a whole batch of solver calls.
     """
-    start = time.perf_counter()
+    stopwatch = Stopwatch()
     try:
-        yield
+        with stopwatch:
+            yield
     finally:
-        store[key] = store.get(key, 0.0) + (time.perf_counter() - start)
+        store[key] = store.get(key, 0.0) + stopwatch.elapsed

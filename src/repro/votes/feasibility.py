@@ -27,6 +27,7 @@ as free would accept votes the SGP still cannot satisfy.
 
 from __future__ import annotations
 
+from repro.obs import get_registry, trace_span
 from repro.graph.augmented import AugmentedGraph
 from repro.paths.edgesets import reachable_edge_set
 from repro.similarity.inverse_pdistance import (
@@ -111,15 +112,20 @@ def filter_feasible(
     """
     kept = VoteSet()
     discarded: list[Vote] = []
-    for vote in votes:
-        if is_vote_feasible(
-            aug,
-            vote,
-            max_length=max_length,
-            restart_prob=restart_prob,
-            shared_weight=shared_weight,
-        ):
-            kept.add(vote)
-        else:
-            discarded.append(vote)
+    with trace_span("votes.feasibility_filter", num_votes=len(votes)) as span:
+        for vote in votes:
+            if is_vote_feasible(
+                aug,
+                vote,
+                max_length=max_length,
+                restart_prob=restart_prob,
+                shared_weight=shared_weight,
+            ):
+                kept.add(vote)
+            else:
+                discarded.append(vote)
+        span.set_attrs(kept=len(kept), discarded=len(discarded))
+    registry = get_registry()
+    registry.counter("votes_feasible_total").inc(len(kept))
+    registry.counter("votes_infeasible_total").inc(len(discarded))
     return kept, discarded

@@ -1,0 +1,170 @@
+"""Unit tests for the metrics registry and its exporters."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    metrics_to_prometheus,
+    set_registry,
+    summary_table,
+    write_metrics_json,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, registry):
+        c = registry.counter("events_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("events_total").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("cache_entries")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == pytest.approx(12.0)
+
+
+class TestHistogram:
+    def test_observe_buckets(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(6.05)
+        # raw: one ≤0.1, two in (0.1, 1.0], one above
+        assert h.counts == [1, 2, 1]
+        assert h.cumulative_counts() == [1, 3, 4]
+
+    def test_boundary_lands_in_lower_bucket(self, registry):
+        h = registry.histogram("b_seconds", buckets=(0.1, 1.0))
+        h.observe(0.1)  # le semantics: exactly on the bound counts in it
+        assert h.cumulative_counts()[0] == 1
+
+    def test_snapshot_value_shape(self, registry):
+        h = registry.histogram("s_seconds", buckets=(0.1,))
+        h.observe(0.2)
+        snap = h.snapshot_value()
+        assert snap == {"count": 1, "sum": 0.2, "buckets": {"0.1": 0, "+Inf": 1}}
+
+    def test_bad_buckets_rejected(self, registry):
+        with pytest.raises(ValueError):
+            registry.histogram("h1_seconds", buckets=())
+        with pytest.raises(ValueError):
+            registry.histogram("h2_seconds", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            registry.histogram("h3_seconds", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self, registry):
+        assert registry.counter("hits_total") is registry.counter("hits_total")
+
+    def test_labels_make_distinct_series(self, registry):
+        a = registry.counter("hits_total", engine="0")
+        b = registry.counter("hits_total", engine="1")
+        assert a is not b
+        a.inc()
+        assert registry.value("hits_total", engine="0") == 1
+        assert registry.value("hits_total", engine="1") == 0
+
+    def test_label_order_does_not_matter(self, registry):
+        a = registry.counter("x_total", a="1", b="2")
+        b = registry.counter("x_total", b="2", a="1")
+        assert a is b
+
+    def test_type_conflict_raises(self, registry):
+        registry.counter("thing_total")
+        with pytest.raises(TypeError):
+            registry.gauge("thing_total")
+        # same name under different labels must also keep one type
+        with pytest.raises(TypeError):
+            registry.gauge("thing_total", engine="1")
+
+    def test_snapshot_is_json_serializable(self, registry):
+        registry.counter("c_total").inc()
+        registry.gauge("g").set(2)
+        registry.histogram("h_seconds").observe(0.01)
+        dumped = json.dumps(registry.snapshot())
+        assert '"c_total"' in dumped
+
+    def test_value_of_unknown_series_is_none(self, registry):
+        assert registry.value("nope_total") is None
+
+    def test_clear(self, registry):
+        registry.counter("c_total").inc()
+        registry.clear()
+        assert len(registry) == 0
+        # the name is reusable, even as a different type
+        registry.gauge("c_total")
+
+    def test_histogram_default_buckets(self, registry):
+        h = registry.histogram("lat_seconds")
+        assert h.buckets == DEFAULT_LATENCY_BUCKETS
+
+
+class TestDefaultRegistry:
+    def test_set_registry_swaps_and_restores(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            assert set_registry(previous) is mine
+        assert get_registry() is previous
+
+    def test_set_registry_type_checked(self):
+        with pytest.raises(TypeError):
+            set_registry({})
+
+
+class TestExporters:
+    def test_prometheus_text(self, registry):
+        registry.counter("hits_total", engine="0").inc(3)
+        registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = metrics_to_prometheus(registry)
+        assert "# TYPE hits_total counter" in text
+        assert 'hits_total{engine="0"} 3' in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 0' in text
+        assert 'lat_seconds_bucket{le="1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_sum 0.5" in text
+        assert "lat_seconds_count 1" in text
+
+    def test_summary_table(self, registry):
+        registry.counter("hits_total").inc(2)
+        registry.histogram("lat_seconds", buckets=(0.1,)).observe(0.05)
+        registry.histogram("dev_magnitude", buckets=(0.1,)).observe(0.05)
+        table = summary_table(registry, title="cost breakdown")
+        assert "cost breakdown" in table
+        assert "hits_total" in table
+        assert "n=1" in table and "ms" in table  # latency gets time units
+        assert "dev_magnitude" in table
+
+    def test_write_metrics_json(self, registry, tmp_path):
+        registry.counter("c_total").inc()
+        path = tmp_path / "metrics.json"
+        snapshot = write_metrics_json(path, registry)
+        assert json.loads(path.read_text()) == snapshot
+        assert snapshot["c_total"] == 1

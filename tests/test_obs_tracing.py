@@ -1,0 +1,245 @@
+"""Unit tests for tracing spans, trace trees, and trace exporters."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    JsonlTraceWriter,
+    add_trace_listener,
+    clear_traces,
+    current_span,
+    last_trace,
+    recent_traces,
+    remove_trace_listener,
+    set_trace_sampling,
+    trace_span,
+    traces_to_jsonl,
+    write_traces_jsonl,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_trace_buffer():
+    clear_traces()
+    yield
+    clear_traces()
+
+
+def _nested_trace():
+    with trace_span("root", request="r1") as root:
+        with trace_span("child_a"):
+            with trace_span("grandchild", n=1):
+                pass
+        with trace_span("child_b") as b:
+            b.set_attrs(items=3)
+        root.set_attrs(status="ok")
+    return last_trace()
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        trace = _nested_trace()
+        assert trace.span_names() == ["root", "child_a", "grandchild", "child_b"]
+        depths = {span.name: depth for span, depth, _ in trace.walk()}
+        assert depths == {"root": 0, "child_a": 1, "grandchild": 2, "child_b": 1}
+
+    def test_attrs_merge(self):
+        trace = _nested_trace()
+        assert trace.root.attrs == {"request": "r1", "status": "ok"}
+        assert trace.find("child_b").attrs == {"items": 3}
+
+    def test_durations_contain_children(self):
+        trace = _nested_trace()
+        child_total = sum(c.duration for c in trace.root.children)
+        assert trace.root.duration >= child_total
+
+    def test_current_span_tracks_the_stack(self):
+        assert current_span() is None
+        with trace_span("outer"):
+            assert current_span().name == "outer"
+            with trace_span("inner"):
+                assert current_span().name == "inner"
+            assert current_span().name == "outer"
+        assert current_span() is None
+
+    def test_exception_marks_span_and_propagates(self):
+        with pytest.raises(RuntimeError):
+            with trace_span("root"):
+                with trace_span("failing"):
+                    raise RuntimeError("boom")
+        trace = last_trace()
+        assert trace.find("failing").attrs["error"] == "RuntimeError"
+        assert trace.root.end is not None  # still finished cleanly
+
+    def test_threads_get_independent_traces(self):
+        seen = []
+
+        def worker():
+            with trace_span("thread_root"):
+                seen.append(current_span().name)
+
+        with trace_span("main_root"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+            # the worker's root must not have nested under ours
+            assert [c.name for c in current_span().children] == []
+        assert seen == ["thread_root"]
+        assert {t.root.name for t in recent_traces()} == {
+            "main_root", "thread_root",
+        }
+
+
+class TestBuffer:
+    def test_only_root_close_finishes_a_trace(self):
+        with trace_span("root"):
+            with trace_span("child"):
+                pass
+            assert last_trace() is None
+        assert last_trace().root.name == "root"
+
+    def test_recent_traces_order_and_limit(self):
+        for name in ("t1", "t2", "t3"):
+            with trace_span(name):
+                pass
+        assert [t.root.name for t in recent_traces()] == ["t1", "t2", "t3"]
+        assert [t.root.name for t in recent_traces(2)] == ["t2", "t3"]
+
+    def test_listener_sees_finished_traces(self):
+        got = []
+        add_trace_listener(got.append)
+        try:
+            with trace_span("watched"):
+                pass
+        finally:
+            remove_trace_listener(got.append)
+        assert [t.root.name for t in got] == ["watched"]
+
+
+class TestSampling:
+    @pytest.fixture(autouse=True)
+    def _always_restore_sampling(self):
+        yield
+        set_trace_sampling(1)
+
+    def test_one_in_n_roots_is_traced(self):
+        set_trace_sampling(3)
+        for i in range(7):
+            with trace_span(f"req{i}"):
+                pass
+        # The first root after (re)configuring is always traced.
+        assert [t.root.name for t in recent_traces()] == ["req0", "req3", "req6"]
+
+    def test_skipped_root_suppresses_its_children(self):
+        set_trace_sampling(2)
+        for i in range(4):
+            with trace_span(f"req{i}"):
+                with trace_span("child"):
+                    pass
+        traces = recent_traces()
+        assert [t.root.name for t in traces] == ["req0", "req2"]
+        # Children neither vanish from traced roots nor leak out of
+        # skipped ones as standalone traces.
+        assert all(t.span_names() == [t.root.name, "child"] for t in traces)
+
+    def test_noop_span_accepts_the_span_surface(self):
+        set_trace_sampling(2)
+        with trace_span("traced"):
+            pass
+        with trace_span("skipped", request="r1") as span:
+            span.set_attrs(items=3)
+            assert span.duration == 0.0
+        assert [t.root.name for t in recent_traces()] == ["traced"]
+
+    def test_nested_spans_inside_a_live_root_are_never_sampled(self):
+        set_trace_sampling(2)
+        with trace_span("root"):
+            for _ in range(5):
+                with trace_span("child"):
+                    pass
+        assert len(last_trace().root.children) == 5
+
+    def test_set_trace_sampling_returns_previous_and_validates(self):
+        assert set_trace_sampling(10) == 1
+        assert set_trace_sampling(1) == 10
+        with pytest.raises(ValueError):
+            set_trace_sampling(0)
+
+    def test_clear_traces_rephases_the_sampler(self):
+        set_trace_sampling(2)
+        with trace_span("a"):
+            pass
+        clear_traces()
+        with trace_span("b"):  # first after clear: traced again
+            pass
+        assert [t.root.name for t in recent_traces()] == ["b"]
+
+
+class TestExport:
+    def test_json_lines_shape(self):
+        trace = _nested_trace()
+        records = [json.loads(line) for line in trace.to_json_lines()]
+        assert len(records) == 4
+        root = records[0]
+        assert root["parent_id"] is None
+        assert root["depth"] == 0
+        assert root["start_ms"] == 0.0
+        by_name = {r["name"]: r for r in records}
+        assert by_name["grandchild"]["parent_id"] == by_name["child_a"]["span_id"]
+        assert by_name["grandchild"]["depth"] == 2
+        assert all(r["trace_id"] == root["trace_id"] for r in records)
+        assert all(r["duration_ms"] >= 0 for r in records)
+        assert by_name["child_b"]["attrs"] == {"items": 3}
+
+    def test_non_json_attrs_become_repr(self):
+        with trace_span("root", obj={1, 2}):
+            pass
+        (line,) = last_trace().to_json_lines()
+        assert json.loads(line)["attrs"]["obj"] == repr({1, 2})
+
+    def test_render_tree(self):
+        trace = _nested_trace()
+        lines = trace.render().splitlines()
+        assert lines[0].startswith("root  ")
+        assert "[request=r1 status=ok]" in lines[0]
+        assert lines[1].startswith("  child_a")
+        assert lines[2].startswith("    grandchild")
+        assert "ms" in lines[0]
+
+    def test_render_min_duration_hides_fast_children(self):
+        trace = _nested_trace()
+        rendered = trace.render(min_duration=10.0)
+        assert rendered.splitlines()[0].startswith("root")  # root always shown
+        assert "child_a" not in rendered
+
+    def test_traces_to_jsonl_concatenates(self):
+        t1 = _nested_trace()
+        with trace_span("single"):
+            pass
+        t2 = last_trace()
+        blob = traces_to_jsonl([t1, t2])
+        assert blob.endswith("\n")
+        assert len(blob.strip().splitlines()) == 5
+
+    def test_write_traces_jsonl(self, tmp_path):
+        trace = _nested_trace()
+        path = tmp_path / "traces.jsonl"
+        assert write_traces_jsonl(path, [trace]) == 4
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4
+
+    def test_jsonl_trace_writer_streams_live(self, tmp_path):
+        path = tmp_path / "live.jsonl"
+        with JsonlTraceWriter(path):
+            with trace_span("streamed"):
+                with trace_span("inner"):
+                    pass
+        with trace_span("after_detach"):
+            pass
+        names = [
+            json.loads(line)["name"]
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert names == ["streamed", "inner"]
