@@ -249,6 +249,30 @@ def _cmd_similarity(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.devtools.lint import RULES, format_violations, lint_paths
+
+    rules = None
+    if args.rules:
+        rules = set(args.rules)
+        unknown = rules - set(RULES)
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(RULES))}"
+            )
+    violations = lint_paths(args.paths, rules=rules)
+    if violations:
+        _LOG.info(format_violations(violations))
+        _LOG.info(
+            f"{len(violations)} violation(s) in "
+            f"{len({v.path for v in violations})} file(s)"
+        )
+        return 1
+    _LOG.info(f"{len(args.paths)} path(s) clean")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -299,6 +323,18 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--answers", type=int, nargs="+", default=[20, 40, 80])
     sim.add_argument("--seed", type=int, default=3)
 
+    lint = sub.add_parser(
+        "lint", help="run the project's custom AST lint rules (R001-R005)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rules", nargs="+", metavar="R00X", default=None,
+        help="restrict the run to these rule ids (default: all)",
+    )
+
     return parser
 
 
@@ -308,6 +344,7 @@ _COMMANDS = {
     "effectiveness": _cmd_effectiveness,
     "scaling": _cmd_scaling,
     "similarity": _cmd_similarity,
+    "lint": _cmd_lint,
 }
 
 
@@ -334,7 +371,7 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     try:
         code = _COMMANDS[args.command](args)
     except Exception as exc:  # surface a clean message, not a traceback
-        print(f"error: {exc}", file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)  # noqa: R003 - stderr, pre-logging
         return 1
     if code == 0 and args.command in _INSTRUMENTED_COMMANDS:
         _report_run_costs(args)

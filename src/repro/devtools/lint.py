@@ -1,0 +1,414 @@
+"""Project-specific AST lint rules (``repro-kg lint``).
+
+Generic linters cannot know that this repository's CSR buffers belong
+to the serving engine, that metric names are a stringly-typed API with
+a central catalog, or that reproducibility dies the moment someone
+reaches for an unseeded RNG.  This module encodes those rules as a
+small AST lint pass:
+
+========  ==============================================================
+Rule      What it rejects
+========  ==============================================================
+``R001``  Direct mutation of CSR buffers (``.data`` / ``.indices`` /
+          ``.indptr`` assignment) outside the
+          :class:`~repro.serving.engine.SimilarityEngine` patch API.
+``R002``  A string literal passed to ``trace_span`` or to
+          ``registry.counter/gauge/histogram`` that is not declared in
+          :mod:`repro.obs.catalog` — the typo'd-phantom-series guard.
+``R003``  ``print()`` calls in library code (the logging migration
+          regression guard).
+``R004``  Module-level or unseeded randomness: ``import random``,
+          legacy ``np.random.<fn>()`` global-state calls, unseeded
+          ``np.random.default_rng()``, or any RNG construction at
+          module import time — all outside ``utils/rng.py``.
+``R005``  Raw ``time.time()`` timing where
+          :class:`~repro.utils.timing.Stopwatch` exists — wall-clock
+          time is not monotonic and the repo already has the right
+          tool (outside ``utils/timing.py``).
+========  ==============================================================
+
+Suppression: append ``# noqa: R003`` (or a comma-separated rule list,
+or a bare ``# noqa``) to the offending line.  Rules are suppressed per
+line, never per file.
+
+The engine walks each file's AST exactly once; rules are methods on a
+single visitor, so adding a rule is one method plus one catalog entry
+in :data:`RULES`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs import catalog
+
+__all__ = [
+    "RULES",
+    "LintViolation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_violations",
+]
+
+#: Rule id -> one-line description (the ``repro-kg lint --rules`` table).
+RULES: dict[str, str] = {
+    "R001": (
+        "no direct mutation of CSR buffers (.data/.indices/.indptr) outside "
+        "the SimilarityEngine patch API"
+    ),
+    "R002": (
+        "metric/span names passed to obs must be declared in "
+        "repro.obs.catalog (typo'd series guard)"
+    ),
+    "R003": "no print() in library code; use the repro.cli logger / logging",
+    "R004": (
+        "no module-level or unseeded np.random/random usage outside "
+        "utils/rng.py"
+    ),
+    "R005": "no raw time.time() timing where utils.timing.Stopwatch exists",
+}
+
+#: Files exempt from a rule because they *implement* the guarded API.
+_RULE_EXEMPT_FILES: dict[str, tuple[str, ...]] = {
+    "R001": ("serving/engine.py",),
+    "R004": ("utils/rng.py",),
+    "R005": ("utils/timing.py",),
+}
+
+#: Attribute names that identify a CSR buffer for R001.
+_CSR_BUFFERS = frozenset({"data", "indices", "indptr"})
+
+#: ``np.random`` members that construct *seedable* generators; every
+#: other member is the legacy global-state API and always violates R004.
+_SEEDED_RNG_FACTORIES = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<rules>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: R00X message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+def _noqa_rules(source_line: str) -> "frozenset[str] | None":
+    """Rules suppressed on this line: ``frozenset()`` means *all*."""
+    match = _NOQA_RE.search(source_line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(r.strip().upper() for r in rules.split(",") if r.strip())
+
+
+class _RuleVisitor(ast.NodeVisitor):
+    """One-pass AST walk applying every applicable rule."""
+
+    def __init__(self, path: str, active_rules: frozenset[str]) -> None:
+        self.path = path
+        self.active = active_rules
+        self.violations: list[LintViolation] = []
+        self._function_depth = 0
+        self._numpy_aliases: set[str] = set()
+        self._time_aliases: set[str] = set()
+        self._time_time_names: set[str] = set()
+
+    # -- helpers -------------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        if rule in self.active:
+            self.violations.append(
+                LintViolation(
+                    rule=rule,
+                    path=self.path,
+                    line=getattr(node, "lineno", 0),
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                )
+            )
+
+    @property
+    def _at_module_level(self) -> bool:
+        return self._function_depth == 0
+
+    def _is_np_random(self, node: ast.AST) -> bool:
+        """Whether ``node`` is the ``np.random`` attribute expression."""
+        return (
+            isinstance(node, ast.Attribute)
+            and node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self._numpy_aliases
+        )
+
+    # -- imports feed the alias tables and R004 ------------------------
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy" or alias.name.startswith("numpy."):
+                self._numpy_aliases.add(bound)
+            elif alias.name == "time":
+                self._time_aliases.add(bound)
+            elif alias.name == "random" or alias.name.startswith("random."):
+                self._emit(
+                    "R004",
+                    node,
+                    "stdlib 'random' is unseeded global state; use "
+                    "repro.utils.rng.ensure_rng instead",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random" and node.level == 0:
+            self._emit(
+                "R004",
+                node,
+                "stdlib 'random' is unseeded global state; use "
+                "repro.utils.rng.ensure_rng instead",
+            )
+        if node.module == "time" and node.level == 0:
+            for alias in node.names:
+                if alias.name == "time":
+                    self._time_time_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- scope tracking ------------------------------------------------
+    def _visit_function(self, node: ast.AST) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+    visit_Lambda = _visit_function
+
+    # -- R001: CSR buffer mutation -------------------------------------
+    def _check_csr_target(self, target: ast.AST, node: ast.AST) -> None:
+        # matrix.data[i] = w  /  matrix.data[i] += w
+        subscripted = isinstance(target, ast.Subscript)
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if not (
+            isinstance(target, ast.Attribute)
+            and target.attr in _CSR_BUFFERS
+            and isinstance(target.value, (ast.Attribute, ast.Name))
+        ):
+            return
+        # ``self.data = {}`` is the ordinary instance-attribute idiom,
+        # not a CSR buffer; wholesale rebinding of a *generic* ``.data``
+        # on bare ``self`` stays legal.  Element stores, aug-assigns,
+        # and the CSR-specific ``.indices``/``.indptr`` always flag.
+        if (
+            not subscripted
+            and target.attr == "data"
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return
+        self._emit(
+            "R001",
+            node,
+            f"direct mutation of CSR buffer '.{target.attr}'; route weight "
+            f"updates through the SimilarityEngine patch API",
+        )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_csr_target(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_csr_target(node.target, node)
+        self.generic_visit(node)
+
+    # -- call-shaped rules ---------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        # R003: print()
+        if isinstance(func, ast.Name) and func.id == "print":
+            self._emit(
+                "R003",
+                node,
+                "print() in library code; use the repro.cli logger / logging",
+            )
+        # R005: time.time()
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self._time_aliases
+        ) or (
+            isinstance(func, ast.Name) and func.id in self._time_time_names
+        ):
+            self._emit(
+                "R005",
+                node,
+                "raw time.time() timing; use utils.timing.Stopwatch / "
+                "time.perf_counter",
+            )
+        # R004: np.random.* calls
+        if isinstance(func, ast.Attribute) and self._is_np_random(func.value):
+            if func.attr not in _SEEDED_RNG_FACTORIES:
+                self._emit(
+                    "R004",
+                    node,
+                    f"np.random.{func.attr}() drives unseeded global state; "
+                    f"use repro.utils.rng.ensure_rng",
+                )
+            elif func.attr == "default_rng" and not (node.args or node.keywords):
+                self._emit(
+                    "R004",
+                    node,
+                    "np.random.default_rng() without a seed breaks "
+                    "reproducibility; thread a seed or use ensure_rng",
+                )
+            elif self._at_module_level:
+                self._emit(
+                    "R004",
+                    node,
+                    f"np.random.{func.attr}(...) at module level runs at "
+                    f"import time; construct RNGs inside functions",
+                )
+        # R002: obs names must be in the catalog
+        self._check_obs_name(node, func)
+        self.generic_visit(node)
+
+    def _check_obs_name(self, node: ast.Call, func: ast.AST) -> None:
+        is_span = isinstance(func, ast.Name) and func.id == "trace_span"
+        is_metric = (
+            isinstance(func, ast.Attribute)
+            and func.attr in ("counter", "gauge", "histogram")
+        )
+        if not (is_span or is_metric):
+            return
+        if not node.args:
+            return
+        first = node.args[0]
+        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+            return
+        name = first.value
+        if is_span and not catalog.is_registered_span(name):
+            self._emit(
+                "R002",
+                node,
+                f"span name {name!r} is not declared in repro.obs.catalog "
+                f"(typo, or add it to SPANS)",
+            )
+        elif is_metric and not catalog.is_registered_metric(name):
+            kind = func.attr  # type: ignore[union-attr]  # is_metric ⇒ Attribute
+            self._emit(
+                "R002",
+                node,
+                f"{kind} name {name!r} is not declared in repro.obs.catalog "
+                f"(typo, or add it to the catalog)",
+            )
+
+
+def _active_rules(path: str) -> frozenset[str]:
+    """Rules that apply to ``path`` (exemptions are per implementing file)."""
+    normalized = path.replace("\\", "/")
+    active = set(RULES)
+    for rule, exempt_suffixes in _RULE_EXEMPT_FILES.items():
+        if any(normalized.endswith(suffix) for suffix in exempt_suffixes):
+            active.discard(rule)
+    return frozenset(active)
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    rules: "Iterable[str] | None" = None,
+) -> list[LintViolation]:
+    """Lint python ``source``; returns violations sorted by location.
+
+    ``path`` labels the violations and selects per-file rule
+    exemptions (the engine may patch its own CSR buffers; the rng
+    module may construct generators).  ``rules`` restricts the run to
+    a subset of rule ids; ``None`` means all of them.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintViolation(
+                rule="E999",
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    active = _active_rules(path)
+    if rules is not None:
+        active = active & frozenset(rules)
+    visitor = _RuleVisitor(path, active)
+    visitor.visit(tree)
+    lines = source.splitlines()
+    kept: list[LintViolation] = []
+    for violation in visitor.violations:
+        line_text = lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
+        suppressed = _noqa_rules(line_text)
+        if suppressed is not None and (not suppressed or violation.rule in suppressed):
+            continue
+        kept.append(violation)
+    kept.sort(key=lambda v: (v.line, v.col, v.rule))
+    return kept
+
+
+def lint_file(
+    path: "str | Path", *, rules: "Iterable[str] | None" = None
+) -> list[LintViolation]:
+    """Lint one file on disk."""
+    file_path = Path(path)
+    return lint_source(
+        file_path.read_text(encoding="utf-8"),
+        path=str(file_path),
+        rules=rules,
+    )
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    *,
+    rules: "Iterable[str] | None" = None,
+) -> list[LintViolation]:
+    """Lint files and/or directory trees (``*.py``, recursively).
+
+    Paths that do not exist raise ``FileNotFoundError`` — a lint run
+    that silently checks nothing is how a CI gate rots.
+    """
+    rule_set = None if rules is None else frozenset(rules)
+    violations: list[LintViolation] = []
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            for file_path in sorted(entry_path.rglob("*.py")):
+                violations.extend(lint_file(file_path, rules=rule_set))
+        elif entry_path.is_file():
+            violations.extend(lint_file(entry_path, rules=rule_set))
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {entry_path}")
+    return violations
+
+
+def format_violations(violations: Sequence[LintViolation]) -> str:
+    """Render violations one per line, plus a summary tail."""
+    if not violations:
+        return "lint: clean"
+    lines = [violation.render() for violation in violations]
+    lines.append(f"lint: {len(violations)} violation(s)")
+    return "\n".join(lines)

@@ -26,8 +26,9 @@ the dicts on every similarity evaluation.
 from __future__ import annotations
 
 import math
-from collections.abc import Hashable, Iterable, Iterator
+from collections.abc import Callable, Hashable, Iterable, Iterator
 from dataclasses import dataclass
+from typing import Any, TypeAlias
 
 import numpy as np
 from scipy import sparse
@@ -39,6 +40,10 @@ from repro.errors import (
 )
 
 Node = Hashable
+
+#: A mutation listener: ``callback(event, *args)`` — see
+#: :meth:`WeightedDiGraph.add_listener` for the event vocabulary.
+GraphListener: TypeAlias = Callable[..., Any]
 
 #: Tolerance allowed on the "out-weights sum to at most one" invariant.
 STOCHASTIC_TOL = 1e-9
@@ -89,7 +94,7 @@ class WeightedDiGraph:
         self._index_cache: dict[Node, int] | None = None
         self._structure_version = 0
         self._weight_version = 0
-        self._listeners: list = []
+        self._listeners: list[GraphListener] = []
 
     # ------------------------------------------------------------------
     # mutation tracking
@@ -109,7 +114,7 @@ class WeightedDiGraph:
         """Counter bumped by weight updates on existing edges."""
         return self._weight_version
 
-    def add_listener(self, callback) -> None:
+    def add_listener(self, callback: GraphListener) -> None:
         """Register a mutation listener.
 
         ``callback(event, *args)`` is invoked synchronously after each
@@ -127,14 +132,14 @@ class WeightedDiGraph:
         if callback not in self._listeners:
             self._listeners.append(callback)
 
-    def remove_listener(self, callback) -> None:
+    def remove_listener(self, callback: GraphListener) -> None:
         """Unregister a mutation listener; unknown callbacks are ignored."""
         try:
             self._listeners.remove(callback)
         except ValueError:
             pass
 
-    def _emit(self, event: str, *args) -> None:
+    def _emit(self, event: str, *args: Any) -> None:
         for callback in self._listeners:
             callback(event, *args)
 

@@ -10,10 +10,14 @@ determines answer rankings — while restoring stochasticity.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
 
+from repro.devtools.contracts import check_row_stochastic
 from repro.errors import NodeNotFoundError
 from repro.graph.digraph import Node, WeightedDiGraph
+
+#: Predicate selecting which out-edges participate in a normalization.
+EdgeFilter = Callable[[Node, Node], bool]
 
 
 def normalize_out_weights(
@@ -21,7 +25,7 @@ def normalize_out_weights(
     *,
     nodes: "Iterable[Node] | None" = None,
     target: float = 1.0,
-    edge_filter=None,
+    edge_filter: "EdgeFilter | None" = None,
 ) -> None:
     """Rescale out-weights in place so each node's sum equals ``target``.
 
@@ -43,6 +47,7 @@ def normalize_out_weights(
     if target <= 0:
         raise ValueError(f"target must be positive, got {target}")
     node_list = list(nodes) if nodes is not None else list(graph.nodes())
+    normalized: list[Node] = []
     for node in node_list:
         if not graph.has_node(node):
             raise NodeNotFoundError(node)
@@ -57,6 +62,16 @@ def normalize_out_weights(
         scale = target / total
         for tail, weight in succ.items():
             graph.set_weight(node, tail, weight * scale)
+        normalized.append(node)
+    # Contract seam (Eq. 7-9): every normalized node's filtered out-mass
+    # now equals the requested target.  No-op unless REPRO_CONTRACTS is on.
+    check_row_stochastic(
+        graph,
+        nodes=normalized,
+        expected={node: target for node in normalized},
+        edge_filter=edge_filter,
+        seam="graph.normalize_out_weights",
+    )
 
 
 def normalize_edges(
@@ -64,7 +79,7 @@ def normalize_edges(
     *,
     nodes: "Iterable[Node] | None" = None,
     reference_sums: "Mapping[Node, float] | None" = None,
-    edge_filter=None,
+    edge_filter: "EdgeFilter | None" = None,
 ) -> None:
     """Restore per-node out-weight sums to recorded reference values.
 
@@ -96,7 +111,7 @@ def out_weight_sums(
     graph: WeightedDiGraph,
     nodes: "Iterable[Node] | None" = None,
     *,
-    edge_filter=None,
+    edge_filter: "EdgeFilter | None" = None,
 ) -> dict[Node, float]:
     """Snapshot per-node out-weight sums (optionally over filtered edges).
 

@@ -16,6 +16,17 @@ See DESIGN.md § Observability for the span hierarchy and the metric
 naming/label conventions.
 """
 
+from repro.obs.catalog import (
+    COUNTERS,
+    GAUGES,
+    HISTOGRAMS,
+    METRIC_PREFIXES,
+    SPAN_PREFIXES,
+    SPANS,
+    catalog_errors,
+    is_registered_metric,
+    is_registered_span,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -47,6 +58,15 @@ from repro.obs.exporters import (
 )
 
 __all__ = [
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAMS",
+    "METRIC_PREFIXES",
+    "SPAN_PREFIXES",
+    "SPANS",
+    "catalog_errors",
+    "is_registered_metric",
+    "is_registered_span",
     "DEFAULT_LATENCY_BUCKETS",
     "Counter",
     "Gauge",

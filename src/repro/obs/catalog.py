@@ -1,0 +1,187 @@
+"""The central catalog of metric and span names.
+
+Every metric series and tracing span the codebase emits is declared
+here, once, next to its kind.  The point is typo-proofing: a metric
+name is a stringly-typed API, and a misspelled ``engine_cache_hit_total``
+silently creates a phantom series that no dashboard reads while the
+real one flatlines.  Two guards consume this catalog:
+
+- the custom lint rule **R002** (:mod:`repro.devtools.lint`) rejects
+  any string literal passed to ``registry.counter/gauge/histogram`` or
+  ``trace_span`` that is not declared here, at lint time;
+- the test suite asserts every catalog entry follows the naming
+  conventions below, so the catalog cannot drift into chaos either.
+
+Naming conventions (also documented in DESIGN.md):
+
+- metric names are ``<subsystem>_<what>[_<unit>]`` with a subsystem
+  prefix from :data:`METRIC_PREFIXES`; counters end in ``_total``,
+  latency histograms in ``_seconds``;
+- span names are ``<subsystem>.<stage>`` with a prefix from
+  :data:`SPAN_PREFIXES`.
+
+Adding a new series is a two-line change: declare it here, then use it;
+the lint self-check keeps the two in sync in both directions.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "METRIC_PREFIXES",
+    "SPAN_PREFIXES",
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAMS",
+    "METRICS",
+    "SPANS",
+    "is_registered_metric",
+    "is_registered_span",
+    "catalog_errors",
+]
+
+#: Allowed metric-name prefixes, one per instrumented subsystem.
+METRIC_PREFIXES: tuple[str, ...] = (
+    "qa_",
+    "engine_",
+    "sgp_",
+    "optimize_",
+    "votes_",
+    "eval_",
+)
+
+#: Allowed span-name prefixes (dotted form of the same subsystems).
+SPAN_PREFIXES: tuple[str, ...] = (
+    "qa.",
+    "engine.",
+    "sgp.",
+    "optimize.",
+    "votes.",
+    "eval.",
+)
+
+#: Monotonic counters (must end in ``_total``).
+COUNTERS: frozenset[str] = frozenset(
+    {
+        # serving engine (repro/serving/engine.py)
+        "engine_builds_total",
+        "engine_rebuilds_avoided_total",
+        "engine_weight_patches_total",
+        "engine_rows_appended_total",
+        "engine_query_events_ignored_total",
+        "engine_cache_hits_total",
+        "engine_cache_misses_total",
+        "engine_serves_total",
+        "engine_batch_serves_total",
+        # QA front end (repro/qa/system.py)
+        "qa_asks_total",
+        "qa_votes_total",
+        # SGP solvers (repro/sgp/solver.py, condensation.py)
+        "sgp_solves_total",
+        "sgp_iterations_total",
+        "sgp_fallbacks_total",
+        "sgp_partial_solutions_total",
+        "sgp_condensation_rounds_total",
+        # optimization drivers (repro/optimize/report.py)
+        "optimize_runs_total",
+        "optimize_changed_edges_total",
+        # feasibility judgment (repro/votes/feasibility.py)
+        "votes_feasible_total",
+        "votes_infeasible_total",
+    }
+)
+
+#: Point-in-time gauges.
+GAUGES: frozenset[str] = frozenset(
+    {
+        "engine_cache_entries",
+        "engine_graph_version",
+    }
+)
+
+#: Histograms (latency series end in ``_seconds``; the deviation
+#: magnitude series is explicitly unitless — deviations live on [0, 1)).
+HISTOGRAMS: frozenset[str] = frozenset(
+    {
+        "engine_build_seconds",
+        "engine_propagate_seconds",
+        "qa_ask_seconds",
+        "sgp_solve_seconds",
+        "optimize_run_seconds",
+        "optimize_deviation_magnitude",
+    }
+)
+
+#: Every declared metric name, any kind.
+METRICS: frozenset[str] = COUNTERS | GAUGES | HISTOGRAMS
+
+#: Every declared tracing-span name.
+SPANS: frozenset[str] = frozenset(
+    {
+        # QA front end
+        "qa.ask",
+        "qa.ask_many",
+        "qa.optimize",
+        # serving engine
+        "engine.rebuild",
+        "engine.propagate",
+        # SGP solvers
+        "sgp.solve",
+        "sgp.condensation",
+        # optimization drivers
+        "optimize.single_vote",
+        "optimize.multi_vote",
+        "optimize.split_merge",
+        "optimize.split",
+        "optimize.merge",
+        "optimize.encode",
+        "optimize.vote",
+        "optimize.cluster",
+        "optimize.solve_clusters",
+        # votes / evaluation
+        "votes.feasibility_filter",
+        "eval.test_set",
+    }
+)
+
+#: Histograms exempt from the ``_seconds`` suffix rule (unitless data).
+_UNITLESS_HISTOGRAMS: frozenset[str] = frozenset({"optimize_deviation_magnitude"})
+
+
+def is_registered_metric(name: str) -> bool:
+    """Whether ``name`` is a declared metric series."""
+    return name in METRICS
+
+
+def is_registered_span(name: str) -> bool:
+    """Whether ``name`` is a declared tracing span."""
+    return name in SPANS
+
+
+def catalog_errors() -> list[str]:
+    """Convention violations inside the catalog itself (empty = clean).
+
+    Checked by the test suite so the catalog stays the single source of
+    naming truth: every entry must carry a known subsystem prefix,
+    counters must end in ``_total``, and latency histograms in
+    ``_seconds``.
+    """
+    errors: list[str] = []
+    for name in sorted(METRICS):
+        if not name.startswith(METRIC_PREFIXES):
+            errors.append(
+                f"metric {name!r} has no registered subsystem prefix "
+                f"{METRIC_PREFIXES}"
+            )
+    for name in sorted(COUNTERS):
+        if not name.endswith("_total"):
+            errors.append(f"counter {name!r} must end in '_total'")
+    for name in sorted(GAUGES | HISTOGRAMS):
+        if name.endswith("_total"):
+            errors.append(f"non-counter {name!r} must not end in '_total'")
+    for name in sorted(HISTOGRAMS - _UNITLESS_HISTOGRAMS):
+        if not name.endswith("_seconds"):
+            errors.append(
+                f"histogram {name!r} must end in '_seconds' (or be declared "
+                f"unitless in the catalog)"
+            )
+    return errors

@@ -147,7 +147,7 @@ class Histogram:
             out.append(running)
         return out
 
-    def snapshot_value(self) -> dict:
+    def snapshot_value(self) -> "dict[str, float | int | dict[str, int]]":
         cumulative = self.cumulative_counts()
         return {
             "count": self.count,
@@ -222,7 +222,7 @@ class MetricsRegistry:
         with self._lock:
             return dict(self._metrics)
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> "dict[str, object]":
         """Plain-dict snapshot: ``series key -> value`` (JSON-serializable).
 
         Counters and gauges map to a float; histograms to

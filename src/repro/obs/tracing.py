@@ -211,14 +211,14 @@ class Trace:
         )
 
 
-def _fmt_attr(value) -> str:
+def _fmt_attr(value: object) -> str:
     if isinstance(value, float):
         return format(value, ".4g")
     return str(value)
 
 
-def _jsonable(attrs: dict) -> dict:
-    out = {}
+def _jsonable(attrs: "dict[str, object]") -> "dict[str, object]":
+    out: dict[str, object] = {}
     for key, value in attrs.items():
         if isinstance(value, (str, int, float, bool)) or value is None:
             out[key] = value

@@ -13,7 +13,9 @@ from collections.abc import Mapping
 
 import numpy as np
 
+from repro.devtools.contracts import check_row_stochastic
 from repro.graph.augmented import AugmentedGraph
+from repro.graph.digraph import Node
 from repro.graph.normalize import normalize_edges, out_weight_sums
 
 #: Weight changes smaller than this are considered "unchanged" both for
@@ -21,12 +23,16 @@ from repro.graph.normalize import normalize_edges, out_weight_sums
 CHANGE_TOL = 1e-9
 
 
+#: A directed knowledge-graph edge key.
+EdgeKey = tuple[Node, Node]
+
+
 def apply_edge_weights(
     aug: AugmentedGraph,
-    new_weights: Mapping,
+    new_weights: Mapping[EdgeKey, float],
     *,
     normalize: bool = True,
-) -> dict:
+) -> dict[EdgeKey, tuple[float, float]]:
     """Write ``{(head, tail): weight}`` into ``aug`` and re-normalize.
 
     Parameters
@@ -66,7 +72,17 @@ def apply_edge_weights(
             reference_sums=reference,
             edge_filter=aug.is_kg_edge,
         )
-    changes = {}
+        # Contract seam (NormalizeEdges, Algorithm 1 line 16): every
+        # touched node's knowledge-graph out-mass is back at its
+        # pre-solve reference — the solver redistributed, not created.
+        check_row_stochastic(
+            graph,
+            nodes=[node for node in touched_nodes if node in reference],
+            expected=reference,
+            edge_filter=aug.is_kg_edge,
+            seam="optimize.apply_edge_weights",
+        )
+    changes: dict[EdgeKey, tuple[float, float]] = {}
     for (head, tail), old in before.items():
         final = graph.weight(head, tail)
         if abs(final - old) > CHANGE_TOL:
@@ -74,7 +90,9 @@ def apply_edge_weights(
     return changes
 
 
-def weight_deltas(changes: Mapping) -> dict:
+def weight_deltas(
+    changes: Mapping[EdgeKey, tuple[float, float]]
+) -> dict[EdgeKey, float]:
     """``{edge: new − old}`` from an :func:`apply_edge_weights` record."""
     return {edge: new - old for edge, (old, new) in changes.items()}
 

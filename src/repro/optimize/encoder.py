@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import SGPModelError
 from repro.graph.augmented import AugmentedGraph
+from repro.graph.digraph import Node
 from repro.paths.edgesets import vote_edge_set
 from repro.paths.polynomial import EdgeVariableIndex, path_polynomials
 from repro.sgp.problem import SGPProblem
@@ -111,7 +112,7 @@ class EncodedProgram:
         """Per-constraint trust weights (the source vote's ``weight``)."""
         return [self.votes[i].weight for i in self.constraint_votes]
 
-    def edge_values(self, x: np.ndarray) -> dict:
+    def edge_values(self, x: np.ndarray) -> "dict[tuple[Node, Node], float]":
         """Map a solution vector back to ``{(head, tail): weight}``."""
         return {
             self.variables.edge_of(var): float(x[var])

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.devtools.contracts import check_monotone_deviations, check_weight_bounds
 from repro.errors import SGPModelError
 from repro.graph.augmented import AugmentedGraph
 from repro.obs import get_registry, trace_span
@@ -219,6 +220,15 @@ def solve_multi_vote(
             encoded.deviation_values(solution.x)
         )
         deviations = np.abs(encoded.deviation_values(solution.x))
+        # Contract seams: the solved edge weights respect the Eq. 2 box
+        # and the Eq. 15 deviation variables stayed within their cap.
+        check_weight_bounds(
+            solution.x[: encoded.num_edge_vars],
+            encoded.problem.lower[: encoded.num_edge_vars],
+            encoded.problem.upper[: encoded.num_edge_vars],
+            seam="optimize.multi_vote",
+        )
+        check_monotone_deviations(deviations, seam="optimize.multi_vote")
         if deviations.size:
             deviation_hist = get_registry().histogram(
                 "optimize_deviation_magnitude", buckets=DEVIATION_BUCKETS

@@ -20,8 +20,12 @@ cluster structure, per-vote outcomes, ...) on top of this contract.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
 
 from repro.obs import get_registry
+
+if TYPE_CHECKING:
+    from collections.abc import Mapping
 
 
 @dataclass
@@ -35,10 +39,16 @@ class OptimizeReport:
     """
 
     #: Human-readable strategy name, overridden per subclass.
-    strategy = "optimize"
+    strategy: ClassVar[str] = "optimize"
 
     elapsed: float = 0.0
     solve_time: float = 0.0
+
+    if TYPE_CHECKING:
+        # Declared here for the type checker only: every subclass provides
+        # it as a dataclass field or a derived property, so adding it as a
+        # runtime field would shadow those and change their signatures.
+        changed_edges: "Mapping[tuple, tuple[float, float]]"
 
     @property
     def num_changed_edges(self) -> int:

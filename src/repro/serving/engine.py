@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import sparse
 
+from repro.devtools.contracts import check_finite_csr_data
 from repro.errors import EvaluationError, NodeNotFoundError
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
@@ -138,7 +139,7 @@ class SimilarityEngine:
         self._aug = aug
         self.params = params if params is not None else SimilarityParams()
         self._cache_size = cache_size
-        self._cache: OrderedDict = OrderedDict()
+        self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._matrix: "sparse.csr_matrix | None" = None
         self._epoch = 0  # bumped only when the matrix contents change
         self._index: dict[Node, int] = {}
@@ -300,6 +301,13 @@ class SimilarityEngine:
             data = self._matrix.data
             for position, weight in patches:
                 data[position] = weight
+            # Contract seam: every patched CSR entry is a finite positive
+            # weight.  No-op unless REPRO_CONTRACTS is on.
+            check_finite_csr_data(
+                data,
+                positions=[position for position, _ in patches],
+                seam="engine.patch",
+            )
             self._m_weight_patches.inc(len(patches))
             self._epoch += 1
         if new_answers:
@@ -359,6 +367,7 @@ class SimilarityEngine:
             self._pos = positions
             self._epoch += 1
             span.set_attrs(nodes=n, edges=len(data))
+        check_finite_csr_data(self._matrix.data, seam="engine.rebuild")
         self._m_builds.inc()
         self._h_build.observe(time.perf_counter() - started)
 
@@ -397,6 +406,7 @@ class SimilarityEngine:
             ),
             shape=(n, n),
         )
+        check_finite_csr_data(self._matrix.data, seam="engine.append_rows")
         self._m_rows_appended.inc(len(answers))
         self._h_build.observe(time.perf_counter() - started)
 
@@ -421,7 +431,12 @@ class SimilarityEngine:
             )
         return self._aug.query_links(query)
 
-    def _cache_key(self, links, targets, params) -> tuple:
+    def _cache_key(
+        self,
+        links: Mapping[Node, float],
+        targets: Sequence[Node],
+        params: SimilarityParams,
+    ) -> tuple:
         # Keyed on the matrix epoch, not the graph version: transient
         # query attach/detach bumps the version but cannot change any
         # served score, so cached vectors stay valid across it.
@@ -433,7 +448,7 @@ class SimilarityEngine:
             self._epoch,
         )
 
-    def _cache_get(self, key):
+    def _cache_get(self, key: tuple) -> "np.ndarray | None":
         if not self._cache_size:
             return None
         scores = self._cache.get(key)
@@ -444,7 +459,7 @@ class SimilarityEngine:
         self._m_cache_hits.inc()
         return scores
 
-    def _cache_put(self, key, scores) -> None:
+    def _cache_put(self, key: tuple, scores: np.ndarray) -> None:
         if not self._cache_size:
             return
         self._cache[key] = scores
@@ -454,7 +469,10 @@ class SimilarityEngine:
         self._g_cache_entries.set(len(self._cache))
 
     def _propagate_one(
-        self, links: Mapping[Node, float], target_idx: np.ndarray, params
+        self,
+        links: Mapping[Node, float],
+        target_idx: np.ndarray,
+        params: SimilarityParams,
     ) -> np.ndarray:
         """The inverse-P-distance DP with the first step pre-seeded.
 

@@ -31,6 +31,7 @@ import numpy as np
 from scipy import optimize
 from scipy.special import logsumexp
 
+from repro.devtools.contracts import check_posynomial, check_weight_bounds
 from repro.errors import SGPSolverError
 from repro.obs import get_registry, trace_span
 from repro.sgp.problem import SGPProblem
@@ -62,6 +63,9 @@ def condense_posynomial(posynomial: Signomial, x: np.ndarray) -> Signomial:
     terms = list(posynomial.terms())
     if not terms:
         raise SGPSolverError("cannot condense an empty posynomial")
+    # Contract seam (Eq. 2-3): the AM-GM condensation is only valid for a
+    # genuine posynomial — every coefficient finite and strictly positive.
+    check_posynomial(terms, seam="sgp.condense_posynomial")
     values = np.array([
         coeff * np.prod([x[v] ** e for v, e in exponents.items()])
         for coeff, exponents in terms
@@ -141,6 +145,10 @@ def solve_by_condensation(
             "condensation requires a signomial objective; the sigmoid "
             "multi-vote objective is not signomial — use solve_sgp instead"
         )
+    if max_rounds < 1:
+        # With zero rounds the loop below would never bind its iteration
+        # variable and the epilogue would crash with a NameError.
+        raise SGPSolverError(f"max_rounds must be at least 1, got {max_rounds}")
     with trace_span(
         "sgp.condensation",
         num_vars=problem.num_vars,
@@ -232,6 +240,10 @@ def solve_by_condensation(
 
         final = best_feasible if best_feasible is not None else x
         x_out = np.clip(final[:n], problem.lower, problem.upper)
+        # Contract seam (Eq. 2): the returned point is inside the box.
+        check_weight_bounds(
+            x_out, problem.lower, problem.upper, seam="sgp.condensation"
+        )
         residuals = problem.constraint_values(x_out)
         max_residual = float(residuals.max()) if residuals.size else 0.0
         solution = SGPSolution(

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.devtools.contracts import check_weight_bounds
 from repro.errors import SGPModelError
 from repro.sgp.terms import CompiledSignomial, Signomial
 
@@ -141,6 +142,10 @@ class SGPProblem:
         # Clip the starting point into the box: current graph weights can
         # sit exactly on (or just outside) a bound after normalization.
         self.x0 = np.clip(self.x0, self.lower, self.upper)
+        # Contract seam (Eq. 2): the clipped start satisfies the box.
+        check_weight_bounds(
+            self.x0, self.lower, self.upper, seam="sgp.problem"
+        )
         self.constraints: list[Constraint] = []
         self._objective: "SmoothObjective | None" = None
         self._objective_signomial: "Signomial | None" = None

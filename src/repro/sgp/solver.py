@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import optimize
 
+from repro.devtools.contracts import check_weight_bounds
 from repro.errors import SGPSolverError
 from repro.obs import get_registry, trace_span
 from repro.sgp.problem import SGPProblem
@@ -97,6 +98,8 @@ def _scipy_constraints(problem: SGPProblem) -> list[dict]:
 def _finalize(problem: SGPProblem, x: np.ndarray, *, success: bool, method: str,
                message: str, elapsed: float, nit: int) -> SGPSolution:
     x = np.clip(np.asarray(x, dtype=float), problem.lower, problem.upper)
+    # Contract seam (Eq. 2): the returned point is inside the box.
+    check_weight_bounds(x, problem.lower, problem.upper, seam=f"sgp.solve[{method}]")
     value = problem.objective.value(x)
     # Evaluate the constraint vector once and derive both the
     # satisfaction census and the residual telemetry from it.

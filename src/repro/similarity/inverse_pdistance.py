@@ -24,12 +24,16 @@ which is property-tested.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import NodeNotFoundError
 from repro.graph.digraph import Node, WeightedDiGraph
 from repro.utils.validation import check_fraction
+
+if TYPE_CHECKING:  # serving.params imports this module; avoid the cycle
+    from repro.serving.params import SimilarityParams
 
 #: Paper default: paths longer than L = 5 are pruned (Section VII-E).
 DEFAULT_MAX_LENGTH = 5
@@ -38,7 +42,11 @@ DEFAULT_MAX_LENGTH = 5
 DEFAULT_RESTART_PROB = 0.15
 
 
-def _resolve_walk_params(max_length, restart_prob, params):
+def _resolve_walk_params(
+    max_length: "int | None",
+    restart_prob: "float | None",
+    params: "SimilarityParams | None",
+) -> tuple[int, float]:
     """Accept either ``params=SimilarityParams(...)`` or the bare pair.
 
     Unlike the serving-layer shims, passing the bare pair here is *not*
@@ -66,7 +74,7 @@ def inverse_pdistance(
     *,
     max_length: "int | None" = None,
     restart_prob: "float | None" = None,
-    params=None,
+    params: "SimilarityParams | None" = None,
 ) -> dict[Node, float]:
     """Truncated extended inverse P-distance from ``source`` to each target.
 
@@ -132,7 +140,7 @@ def inverse_pdistance_batch(
     *,
     max_length: "int | None" = None,
     restart_prob: "float | None" = None,
-    params=None,
+    params: "SimilarityParams | None" = None,
 ) -> dict[Node, dict[Node, float]]:
     """``Φ_L`` for many sources at once: one propagation of stacked vectors.
 
@@ -192,7 +200,7 @@ def inverse_pdistance_single(
     *,
     max_length: "int | None" = None,
     restart_prob: "float | None" = None,
-    params=None,
+    params: "SimilarityParams | None" = None,
 ) -> float:
     """``Φ_L(source, target)`` for a single pair."""
     return inverse_pdistance(

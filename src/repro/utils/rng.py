@@ -9,12 +9,17 @@ whole experiment pipeline is reproducible from a single integer.
 
 from __future__ import annotations
 
+from typing import TypeAlias
+
 import numpy as np
 
-SeedLike = "int | None | np.random.Generator"
+#: Anything :func:`ensure_rng` accepts.  (Previously assigned as a bare
+#: string, which type checkers treated as a ``str`` constant, not an
+#: alias — the explicit ``TypeAlias`` makes it usable in annotations.)
+SeedLike: TypeAlias = "int | None | np.random.Generator"
 
 
-def ensure_rng(seed: "int | None | np.random.Generator" = None) -> np.random.Generator:
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     """Coerce ``seed`` into a :class:`numpy.random.Generator`.
 
     Parameters
@@ -28,7 +33,7 @@ def ensure_rng(seed: "int | None | np.random.Generator" = None) -> np.random.Gen
     return np.random.default_rng(seed)
 
 
-def spawn_rngs(seed: "int | None | np.random.Generator", n: int) -> list[np.random.Generator]:
+def spawn_rngs(seed: SeedLike, n: int) -> list[np.random.Generator]:
     """Derive ``n`` independent generators from one seed.
 
     Used by parallel code (e.g. the distributed split-and-merge strategy)

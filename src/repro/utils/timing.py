@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from types import TracebackType
 
 
 @dataclass
@@ -49,12 +51,17 @@ class Stopwatch:
         """``with Stopwatch() as sw:`` times the block into ``sw.elapsed``."""
         return self.start()
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> None:
         self.stop()
 
 
 @contextmanager
-def timed(store: dict, key: str):
+def timed(store: dict[str, float], key: str) -> Iterator[None]:
     """Context manager that records the block's duration into ``store[key]``.
 
     Durations for repeated keys accumulate, which matches how the paper

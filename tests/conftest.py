@@ -1,8 +1,18 @@
 """Shared fixtures: the paper's Fig. 1 worked example and small graphs."""
 
+import os
+
 import pytest
 
 from repro.graph import AugmentedGraph, WeightedDiGraph
+
+# Run the whole suite with runtime contracts armed (unless the caller
+# explicitly disabled them): the tier-1 tests double as the contracts'
+# no-false-positive proof.  Set REPRO_CONTRACTS=0 to measure baselines.
+if os.environ.get("REPRO_CONTRACTS", "") not in ("0", "false", "no", "off"):
+    from repro.devtools.contracts import enable_contracts
+
+    enable_contracts()
 
 
 @pytest.fixture

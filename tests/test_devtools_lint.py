@@ -1,0 +1,247 @@
+"""The custom AST lint pass: every rule catches its seeded violation,
+suppression and exemptions work, and the shipped source tree is clean.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.devtools.lint import (
+    RULES,
+    LintViolation,
+    format_violations,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+
+def rules_of(source, **kwargs):
+    return [v.rule for v in lint_source(textwrap.dedent(source), **kwargs)]
+
+
+# ----------------------------------------------------------------------
+# R001: CSR buffer mutation
+# ----------------------------------------------------------------------
+class TestR001:
+    def test_subscript_assignment_fires(self):
+        assert rules_of("matrix.data[3] = 0.5\n") == ["R001"]
+
+    def test_aug_assignment_fires(self):
+        assert rules_of("self._matrix.data[pos] *= 2.0\n") == ["R001"]
+
+    def test_buffer_rebinding_fires(self):
+        assert rules_of("m.indptr = new_indptr\n") == ["R001"]
+
+    def test_indices_fires(self):
+        assert rules_of("m.indices[0] = 7\n") == ["R001"]
+
+    def test_unrelated_attribute_clean(self):
+        assert rules_of("m.values[3] = 0.5\nself.data = {}\n") == []
+
+    def test_engine_file_is_exempt(self):
+        assert (
+            rules_of(
+                "m.data[3] = 0.5\n", path="src/repro/serving/engine.py"
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# R002: obs names must come from the catalog
+# ----------------------------------------------------------------------
+class TestR002:
+    def test_unknown_span_fires(self):
+        assert rules_of("with trace_span('qa.bogus'):\n    pass\n") == ["R002"]
+
+    def test_known_span_clean(self):
+        assert rules_of("with trace_span('qa.ask'):\n    pass\n") == []
+
+    def test_unknown_counter_fires(self):
+        assert rules_of("registry.counter('typo_total').inc()\n") == ["R002"]
+
+    def test_known_counter_clean(self):
+        assert rules_of("registry.counter('qa_asks_total').inc()\n") == []
+
+    def test_unknown_histogram_fires(self):
+        assert rules_of("r.histogram('wat_seconds').observe(1)\n") == ["R002"]
+
+    def test_dynamic_name_not_flagged(self):
+        # Only literal first arguments are checkable statically.
+        assert rules_of("registry.counter(name).inc()\n") == []
+
+
+# ----------------------------------------------------------------------
+# R003: print in library code
+# ----------------------------------------------------------------------
+class TestR003:
+    def test_print_fires(self):
+        assert rules_of("print('debugging')\n") == ["R003"]
+
+    def test_logging_clean(self):
+        assert rules_of("import logging\nlogging.getLogger(__name__).info('x')\n") == []
+
+
+# ----------------------------------------------------------------------
+# R004: module-level / unseeded randomness
+# ----------------------------------------------------------------------
+class TestR004:
+    def test_stdlib_random_import_fires(self):
+        assert rules_of("import random\n") == ["R004"]
+
+    def test_stdlib_random_from_import_fires(self):
+        assert rules_of("from random import choice\n") == ["R004"]
+
+    def test_legacy_global_state_fires(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.rand(3)
+            """
+        ) == ["R004"]
+
+    def test_unseeded_default_rng_fires(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def f():
+                return np.random.default_rng()
+            """
+        ) == ["R004"]
+
+    def test_module_level_rng_fires(self):
+        assert rules_of(
+            "import numpy as np\nRNG = np.random.default_rng(0)\n"
+        ) == ["R004"]
+
+    def test_seeded_rng_in_function_clean(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def f(seed):
+                return np.random.default_rng(seed)
+            """
+        ) == []
+
+    def test_rng_module_is_exempt(self):
+        assert (
+            rules_of("import random\n", path="src/repro/utils/rng.py") == []
+        )
+
+
+# ----------------------------------------------------------------------
+# R005: raw time.time()
+# ----------------------------------------------------------------------
+class TestR005:
+    def test_time_time_fires(self):
+        assert rules_of(
+            "import time\n\ndef f():\n    return time.time()\n"
+        ) == ["R005"]
+
+    def test_from_import_alias_fires(self):
+        assert rules_of(
+            "from time import time as now\n\ndef f():\n    return now()\n"
+        ) == ["R005"]
+
+    def test_perf_counter_clean(self):
+        assert rules_of(
+            "import time\n\ndef f():\n    return time.perf_counter()\n"
+        ) == []
+
+    def test_timing_module_is_exempt(self):
+        assert (
+            rules_of(
+                "import time\n\ndef f():\n    return time.time()\n",
+                path="src/repro/utils/timing.py",
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
+# engine mechanics
+# ----------------------------------------------------------------------
+class TestEngine:
+    def test_noqa_bare_suppresses_everything(self):
+        assert rules_of("print('x')  # noqa\n") == []
+
+    def test_noqa_specific_rule_suppresses(self):
+        assert rules_of("print('x')  # noqa: R003\n") == []
+
+    def test_noqa_other_rule_does_not_suppress(self):
+        assert rules_of("print('x')  # noqa: R001\n") == ["R003"]
+
+    def test_rules_filter(self):
+        source = "import random\nprint('x')\n"
+        assert rules_of(source) == ["R004", "R003"] or rules_of(source) == [
+            "R004",
+            "R003",
+        ]
+        assert rules_of(source, rules={"R003"}) == ["R003"]
+
+    def test_syntax_error_reported_not_raised(self):
+        violations = lint_source("def broken(:\n")
+        assert [v.rule for v in violations] == ["E999"]
+
+    def test_violations_sorted_by_location(self):
+        source = "print('b')\nimport random\n"
+        violations = lint_source(source)
+        assert [v.line for v in violations] == sorted(
+            v.line for v in violations
+        )
+
+    def test_render_is_editor_clickable(self):
+        violation = LintViolation("R003", "pkg/mod.py", 3, 0, "no print")
+        assert violation.render() == "pkg/mod.py:3:0: R003 no print"
+
+    def test_format_violations_clean(self):
+        assert format_violations([]) == "lint: clean"
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["does/not/exist"])
+
+    def test_lint_file_reads_disk(self, tmp_path):
+        target = tmp_path / "sample.py"
+        target.write_text("print('x')\n")
+        assert [v.rule for v in lint_file(target)] == ["R003"]
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("import random\n")
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        violations = lint_paths([tmp_path])
+        assert [v.rule for v in violations] == ["R004"]
+
+    def test_every_rule_has_a_description(self):
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert all(RULES.values())
+
+
+# ----------------------------------------------------------------------
+# the gate itself
+# ----------------------------------------------------------------------
+class TestSelfCheck:
+    def test_shipped_source_tree_is_clean(self):
+        violations = lint_paths(["src"])
+        assert violations == [], format_violations(violations)
+
+    def test_obs_catalog_is_internally_consistent(self):
+        from repro.obs.catalog import catalog_errors
+
+        assert catalog_errors() == []
+
+    def test_cli_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["lint", "src"]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("print('x')\n")
+        assert main(["lint", str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "R003" in out
