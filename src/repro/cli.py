@@ -7,6 +7,8 @@ Installed as the ``repro-kg`` console script::
     repro-kg effectiveness --seed 11       # Tables IV/V in miniature
     repro-kg scaling --votes 5 10 20       # Fig. 6 in miniature
     repro-kg similarity --answers 40 80    # Table VI in miniature
+    repro-kg serve --wal-dir state/        # durable online loop (WAL)
+    repro-kg recover --wal-dir state/      # crash recovery + replay report
 
 Every command prints aligned text tables (no plotting dependency) and
 exits non-zero on failure, so the CLI is scriptable in CI.
@@ -31,7 +33,9 @@ _LOG = logging.getLogger("repro.cli")
 
 #: Commands that exercise the serving/optimization stack and therefore
 #: have a meaningful metrics snapshot to report afterwards.
-_INSTRUMENTED_COMMANDS = frozenset({"demo", "effectiveness", "scaling"})
+_INSTRUMENTED_COMMANDS = frozenset(
+    {"demo", "effectiveness", "scaling", "serve", "recover"}
+)
 
 
 def _configure_logging(level_name: str) -> None:
@@ -249,6 +253,141 @@ def _cmd_similarity(args) -> int:
     return 0
 
 
+def _stream_scenario(seed: int, num_votes: int):
+    """Deterministic corrupted-helpdesk scenario for ``serve``/``recover``.
+
+    Same seeds produce the same graph and vote stream, which is what
+    lets ``recover`` bootstrap the identical fallback graph when a
+    session crashed before its first snapshot.
+    """
+    import numpy as np
+
+    from repro.graph import AugmentedGraph, helpdesk_graph
+    from repro.graph.generators import perturb_weights
+    from repro.votes import GroundTruthOracle, generate_votes_from_oracle
+
+    kg, topics = helpdesk_graph(num_topics=4, entities_per_topic=8, seed=seed)
+    entities = [e for members in topics.values() for e in members]
+    noisy = perturb_weights(kg, noise=1.5, seed=seed + 1)
+
+    def attach(base):
+        aug = AugmentedGraph(base)
+        rng = np.random.default_rng(seed + 2)
+        for i in range(10):
+            picks = rng.choice(len(entities), size=3, replace=False)
+            aug.add_answer(f"a{i}", {entities[int(p)]: 1 for p in picks})
+        for i in range(num_votes):
+            picks = rng.choice(len(entities), size=2, replace=False)
+            aug.add_query(f"q{i}", {entities[int(p)]: 1 for p in picks})
+        return aug
+
+    truth = attach(kg)
+    deployed = attach(noisy)
+    votes = generate_votes_from_oracle(
+        deployed, GroundTruthOracle(truth), k=6, seed=seed + 3
+    )
+    return deployed, list(votes)
+
+
+def _outcome_rows(history):
+    return [
+        [
+            outcome.batch_index,
+            outcome.num_votes,
+            outcome.num_negative,
+            outcome.strategy,
+            f"{outcome.omega_avg:+.3f}",
+            outcome.changed_edges,
+            f"{outcome.elapsed:.2f}s",
+        ]
+        for outcome in history
+    ]
+
+
+def _cmd_serve(args) -> int:
+    from repro.optimize.online import OnlineOptimizer
+    from repro.persistence import DurableStore
+    from repro.votes.stream import CountPolicy
+
+    deployed, votes = _stream_scenario(args.seed, args.votes)
+    store = DurableStore(args.wal_dir)
+    online = OnlineOptimizer.recover(
+        store,
+        fallback=deployed,
+        policy=CountPolicy(args.batch_size),
+    )
+    resumed_batches = len(online.history)
+    resumed_pending = len(online.pending)
+    if resumed_batches or resumed_pending:
+        _LOG.info(
+            f"resumed session from {args.wal_dir}: replay fired "
+            f"{resumed_batches} batch(es), re-buffered {resumed_pending} "
+            f"pending vote(s)"
+        )
+    for vote in votes:
+        online.submit(vote)
+    _LOG.info(
+        format_table(
+            ["batch", "votes", "neg", "strategy", "Omega_avg", "changed", "time"],
+            _outcome_rows(online.history),
+            title=f"durable online session ({len(votes)} votes submitted)",
+        )
+    )
+    _LOG.info(
+        f"\nWAL last seq: {store.wal.last_seq}; "
+        f"{len(online.pending)} vote(s) pending (durable in the WAL, "
+        f"replayed on the next serve/recover); snapshots in {args.wal_dir}"
+    )
+    store.close()
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    from repro.graph.persistence import save_augmented_graph
+    from repro.optimize.online import OnlineOptimizer
+    from repro.persistence import DurableStore
+    from repro.votes.stream import CountPolicy
+
+    store = DurableStore(args.wal_dir)
+    state = store.recover()
+    if state.aug is None:
+        _LOG.info(
+            f"no snapshot in {args.wal_dir}; bootstrapping the simulated "
+            f"scenario graph (--seed {args.seed})"
+        )
+        fallback, _ = _stream_scenario(args.seed, args.votes)
+    else:
+        _LOG.info(f"newest snapshot covers WAL seq {state.snapshot_seq}")
+        fallback = None
+    _LOG.info(f"WAL tail: {len(state.tail)} vote(s) to replay")
+    online = OnlineOptimizer.recover(
+        store,
+        fallback=fallback,
+        policy=CountPolicy(args.batch_size),
+        state=state,
+    )
+    if online.history:
+        _LOG.info(
+            format_table(
+                ["batch", "votes", "neg", "strategy", "Omega_avg", "changed", "time"],
+                _outcome_rows(online.history),
+                title="batches re-fired during replay",
+            )
+        )
+    graph = online.aug
+    _LOG.info(
+        f"\nrecovered: {len(graph.entity_nodes)} entities, "
+        f"{len(graph.query_nodes)} queries, {len(graph.answer_nodes)} answers, "
+        f"{graph.graph.num_edges} edges; {len(online.pending)} vote(s) "
+        f"re-buffered as pending"
+    )
+    if args.output:
+        save_augmented_graph(graph, args.output)
+        _LOG.info(f"recovered graph written to {args.output}")
+    store.close()
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.devtools.lint import RULES, format_violations, lint_paths
 
@@ -312,7 +451,38 @@ def build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--votes", type=int, nargs="+", default=[5, 10, 20])
     scaling.add_argument("--seed", type=int, default=17)
 
-    for instrumented in (demo, eff, scaling):
+    serve = sub.add_parser(
+        "serve",
+        help="run a simulated durable online session (vote WAL + snapshots)",
+    )
+    serve.add_argument(
+        "--wal-dir", required=True, metavar="DIR",
+        help="durability directory (votes.wal + snapshot-*.json); "
+             "an existing session there is resumed first",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--votes", type=int, default=12,
+                       help="simulated votes to stream this session")
+    serve.add_argument("--batch-size", type=int, default=5,
+                       help="CountPolicy batch size (use the same value "
+                            "when recovering)")
+
+    rec = sub.add_parser(
+        "recover",
+        help="rebuild a crashed serve session from its WAL directory",
+    )
+    rec.add_argument("--wal-dir", required=True, metavar="DIR")
+    rec.add_argument("--seed", type=int, default=0,
+                     help="scenario seed (only used when no snapshot exists)")
+    rec.add_argument("--votes", type=int, default=12,
+                     help="scenario size (only used when no snapshot exists)")
+    rec.add_argument("--batch-size", type=int, default=5,
+                     help="must match the serve session's batch size for "
+                          "bit-exact replay")
+    rec.add_argument("--output", metavar="PATH", default=None,
+                     help="also write the recovered graph JSON to PATH")
+
+    for instrumented in (demo, eff, scaling, serve, rec):
         instrumented.add_argument(
             "--metrics-json", metavar="PATH", default=None,
             help="dump the metrics registry snapshot to PATH after the run",
@@ -344,6 +514,8 @@ _COMMANDS = {
     "effectiveness": _cmd_effectiveness,
     "scaling": _cmd_scaling,
     "similarity": _cmd_similarity,
+    "serve": _cmd_serve,
+    "recover": _cmd_recover,
     "lint": _cmd_lint,
 }
 

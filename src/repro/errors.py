@@ -47,6 +47,15 @@ class AugmentationError(GraphError):
     """Raised for invalid query/answer attachment to a knowledge graph."""
 
 
+class PersistenceError(ReproError):
+    """Raised when the durability layer cannot log, snapshot, or recover.
+
+    Covers vote write-ahead-log corruption (a broken record that is
+    *not* the torn final line), snapshot directories with no usable
+    snapshot, and votes whose node ids cannot be serialized to JSON.
+    """
+
+
 class SimilarityError(ReproError):
     """Raised when a similarity evaluation cannot be performed."""
 

@@ -6,29 +6,134 @@ round-trip through :mod:`repro.graph.io`; an
 :class:`~repro.graph.augmented.AugmentedGraph` additionally needs its
 role bookkeeping (which nodes are queries/answers), which this module
 serializes alongside the combined graph in a single JSON document.
+
+Writes are **atomic**: the payload goes to a ``<name>.tmp`` sibling
+first, is fsynced, and is then renamed over the target, so a crash
+mid-save can never leave a half-written (and thus unloadable) graph
+behind — a reader observes either the old file or the new one.  The
+durability layer (:mod:`repro.persistence`) builds its snapshots on
+this guarantee.
+
+Versioning policy: :data:`FORMAT_VERSION` is bumped only on an
+*incompatible* schema change.  Adding optional top-level keys (such as
+the ``meta`` mapping snapshots use to record their last applied WAL
+sequence) is additive: older readers ignore unknown keys and newer
+readers treat them as optional, so the version stays put.
 """
 
 from __future__ import annotations
 
 import json
+import os
+from collections.abc import Mapping
 from pathlib import Path
 
 from repro.errors import GraphError
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import WeightedDiGraph
 
-#: Schema version written into every file; bump on incompatible change.
+#: Schema version written into every file; bump on incompatible change
+#: only — additive optional keys (e.g. ``meta``) keep the version.
 FORMAT_VERSION = 1
 
 
-def save_augmented_graph(aug: AugmentedGraph, path: "str | Path") -> None:
-    """Write an augmented graph (weights + roles) to JSON.
+def write_json_atomic(path: "str | Path", payload: object) -> None:
+    """Serialize ``payload`` to ``path`` with write-temp-then-rename.
+
+    The temporary sibling is fsynced before the rename and the parent
+    directory is fsynced after it, so the rename itself is durable: a
+    crash at any point leaves either the previous file or the complete
+    new one, never a torn mixture.
+    """
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, target)
+    fsync_directory(target.parent)
+
+
+def fsync_directory(directory: "str | Path") -> None:
+    """Flush a directory entry to disk (no-op where unsupported)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def _validate_link_roles(aug: AugmentedGraph) -> None:
+    """Reject graphs whose link edges cannot round-trip through JSON.
+
+    The augmented-graph API only ever creates query→entity and
+    entity→answer links (``add_query``/``add_answer`` both validate
+    their targets against the entity set), so any other role
+    combination means the combined graph was mutated behind the role
+    bookkeeping's back.  Saving such a graph would succeed while the
+    load would fail much later with a confusing "no links" error; fail
+    fast at save time instead, naming the offending edge.
+    """
+    queries = aug.query_nodes
+    answers = aug.answer_nodes
+    for edge in aug.graph.edges():
+        head_is_query = edge.head in queries
+        tail_is_answer = edge.tail in answers
+        if head_is_query and tail_is_answer:
+            raise GraphError(
+                f"cannot save: edge {edge.head!r} -> {edge.tail!r} links a "
+                f"query directly to an answer; the augmented-graph "
+                f"construction only supports query->entity and "
+                f"entity->answer links"
+            )
+        if edge.head in answers:
+            raise GraphError(
+                f"cannot save: edge {edge.head!r} -> {edge.tail!r} leaves an "
+                f"answer node; answers are absorbing and have no out-links"
+            )
+        if edge.tail in queries:
+            raise GraphError(
+                f"cannot save: edge {edge.head!r} -> {edge.tail!r} enters a "
+                f"query node; queries have out-links only"
+            )
+
+
+def save_augmented_graph(
+    aug: AugmentedGraph,
+    path: "str | Path",
+    *,
+    meta: "Mapping[str, object] | None" = None,
+) -> None:
+    """Write an augmented graph (weights + roles) to JSON, atomically.
 
     Weights round-trip exactly (JSON numbers are IEEE doubles), so a
     save/load cycle preserves every similarity score bit for bit.
+
+    Parameters
+    ----------
+    aug:
+        The graph to persist.  Its link edges are validated against the
+        role sets first; a graph that could not be re-attached on load
+        (e.g. a hand-crafted query→answer edge) raises
+        :class:`~repro.errors.GraphError` *now* rather than producing a
+        file that fails to load later.
+    path:
+        Target file.  Written via temp-file-and-rename, so concurrent
+        readers and crashes see either the old or the new version.
+    meta:
+        Optional JSON-serializable mapping stored under the ``meta``
+        key — e.g. the durability layer's last applied WAL sequence.
+        Readers that predate the key ignore it.
     """
+    _validate_link_roles(aug)
     graph = aug.graph
-    payload = {
+    payload: dict[str, object] = {
         "format": "repro-augmented-graph",
         "version": FORMAT_VERSION,
         "nodes": list(graph.nodes()),
@@ -36,11 +141,12 @@ def save_augmented_graph(aug: AugmentedGraph, path: "str | Path") -> None:
         "queries": sorted(aug.query_nodes, key=repr),
         "answers": sorted(aug.answer_nodes, key=repr),
     }
-    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+    if meta is not None:
+        payload["meta"] = dict(meta)
+    write_json_atomic(path, payload)
 
 
-def load_augmented_graph(path: "str | Path") -> AugmentedGraph:
-    """Load an augmented graph previously written by :func:`save_augmented_graph`."""
+def _read_payload(path: "str | Path") -> dict:
     try:
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
@@ -53,6 +159,25 @@ def load_augmented_graph(path: "str | Path") -> AugmentedGraph:
             f"{path}: unsupported format version {version!r} "
             f"(this build reads version {FORMAT_VERSION})"
         )
+    return payload
+
+
+def read_augmented_graph_meta(path: "str | Path") -> dict:
+    """The ``meta`` mapping stored with a saved graph (``{}`` if none).
+
+    Validates the file header exactly like :func:`load_augmented_graph`
+    but skips graph reconstruction, so peeking at snapshot metadata
+    (e.g. the last applied WAL sequence) stays cheap.
+    """
+    meta = _read_payload(path).get("meta", {})
+    if not isinstance(meta, dict):
+        raise GraphError(f"{path}: 'meta' must be a JSON object, got {meta!r}")
+    return meta
+
+
+def load_augmented_graph(path: "str | Path") -> AugmentedGraph:
+    """Load an augmented graph previously written by :func:`save_augmented_graph`."""
+    payload = _read_payload(path)
 
     queries = set(payload["queries"])
     answers = set(payload["answers"])
@@ -74,9 +199,27 @@ def load_augmented_graph(path: "str | Path") -> AugmentedGraph:
     query_links: dict = {q: {} for q in queries}
     answer_links: dict = {a: {} for a in answers}
     for head, tail, weight in link_edges:
-        if head in queries:
+        head_is_query = head in queries
+        tail_is_answer = tail in answers
+        # Route each link edge by its *full* role signature.  A naive
+        # "head is a query wins" routing silently swallowed a
+        # query→answer edge into query_links, leaving the answer with
+        # no in-links and a much later, misleading "no links" error.
+        if head_is_query and tail_is_answer:
+            raise GraphError(
+                f"{path}: link edge {head!r} -> {tail!r} connects a query "
+                f"directly to an answer; this shape is not representable "
+                f"by the augmented-graph construction (save would have "
+                f"rejected it)"
+            )
+        if head in answers or tail in queries:
+            raise GraphError(
+                f"{path}: link edge {head!r} -> {tail!r} runs against the "
+                f"role structure (answers absorb, queries only emit)"
+            )
+        if head_is_query:
             query_links[head][tail] = weight
-        elif tail in answers:
+        elif tail_is_answer:
             answer_links[tail][head] = weight
         else:
             raise GraphError(

@@ -47,6 +47,8 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "optimize_",
     "votes_",
     "eval_",
+    "wal_",
+    "snapshot_",
 )
 
 #: Allowed span-name prefixes (dotted form of the same subsystems).
@@ -57,6 +59,8 @@ SPAN_PREFIXES: tuple[str, ...] = (
     "optimize.",
     "votes.",
     "eval.",
+    "wal.",
+    "snapshot.",
 )
 
 #: Monotonic counters (must end in ``_total``).
@@ -87,6 +91,14 @@ COUNTERS: frozenset[str] = frozenset(
         # feasibility judgment (repro/votes/feasibility.py)
         "votes_feasible_total",
         "votes_infeasible_total",
+        # durability layer (repro/persistence/)
+        "wal_appends_total",
+        "wal_rotations_total",
+        "wal_torn_records_total",
+        "wal_replayed_total",
+        "snapshot_writes_total",
+        "snapshot_recoveries_total",
+        "snapshot_invalid_total",
     }
 )
 
@@ -95,6 +107,8 @@ GAUGES: frozenset[str] = frozenset(
     {
         "engine_cache_entries",
         "engine_graph_version",
+        "wal_last_seq",
+        "snapshot_last_seq",
     }
 )
 
@@ -108,6 +122,9 @@ HISTOGRAMS: frozenset[str] = frozenset(
         "sgp_solve_seconds",
         "optimize_run_seconds",
         "optimize_deviation_magnitude",
+        "wal_append_seconds",
+        "snapshot_write_seconds",
+        "snapshot_recover_seconds",
     }
 )
 
@@ -140,6 +157,10 @@ SPANS: frozenset[str] = frozenset(
         # votes / evaluation
         "votes.feasibility_filter",
         "eval.test_set",
+        # durability layer
+        "wal.replay",
+        "snapshot.write",
+        "snapshot.recover",
     }
 )
 

@@ -9,17 +9,33 @@ per-batch outcomes so the operator can watch quality converge.
 A strategy escalation mirrors the paper's efficiency story: small
 batches go to the basic multi-vote solution, large batches to
 split-and-merge (whose clustering overhead only pays off at scale).
+
+Durable mode (``store=DurableStore(...)``) makes the loop crash-safe:
+
+- ``submit()`` appends the vote to the write-ahead log (fsynced)
+  *before* buffering it — log before apply;
+- a successful ``flush()`` checkpoints: the graph is snapshotted
+  atomically, stamped with the batch's last WAL sequence, and the WAL
+  is rotated past it — snapshot after flush;
+- :meth:`OnlineOptimizer.recover` rebuilds the pre-crash state from the
+  newest snapshot plus a deterministic replay of the WAL tail through
+  the same policy and solvers, reproducing the weights bit for bit.
+
+A solver failure during ``flush()`` re-queues the batch (it is *not*
+discarded) and re-raises, so the votes survive in memory — and, in
+durable mode, on disk — for a retry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import VoteError
+from repro.errors import PersistenceError, VoteError
 from repro.eval.harness import vote_omega_avg
 from repro.graph.augmented import AugmentedGraph
 from repro.optimize.multi_vote import solve_multi_vote
 from repro.optimize.split_merge import solve_split_merge
+from repro.persistence import DurableStore, RecoveredState, WalRecord
 from repro.votes.stream import CountPolicy
 from repro.votes.types import Vote, VoteSet
 
@@ -53,6 +69,12 @@ class OnlineOptimizer:
         instead of the basic multi-vote solution.
     options:
         Extra keyword arguments forwarded to the batch solvers.
+    store:
+        Optional :class:`~repro.persistence.DurableStore` enabling
+        durable mode (vote WAL + snapshot checkpoints).  For recovery
+        to reproduce state exactly, reopen the store with the *same*
+        policy and solver options the original run used — replay is
+        deterministic only under identical configuration.
     """
 
     aug: AugmentedGraph
@@ -61,36 +83,62 @@ class OnlineOptimizer:
     options: dict = field(default_factory=dict)
     pending: VoteSet = field(default_factory=VoteSet)
     history: list[BatchOutcome] = field(default_factory=list)
+    store: "DurableStore | None" = None
+    _pending_seqs: list[int] = field(default_factory=list, init=False, repr=False)
 
     def submit(self, vote: Vote) -> "BatchOutcome | None":
-        """Buffer one vote; optimize (and return the outcome) if due."""
+        """Buffer one vote; optimize (and return the outcome) if due.
+
+        In durable mode the vote is fsynced to the WAL *before* it is
+        buffered: once ``submit`` returns, no crash can lose it.
+        """
         if not isinstance(vote, Vote):
             raise VoteError(f"expected a Vote, got {type(vote).__name__}")
+        if self.store is not None:
+            self._pending_seqs.append(self.store.log_vote(vote))
         self.pending.add(vote)
         if self.policy.should_optimize(self.pending):
             return self.flush()
         return None
 
     def flush(self) -> "BatchOutcome | None":
-        """Optimize against all pending votes now (no-op when empty)."""
+        """Optimize against all pending votes now (no-op when empty).
+
+        If the solver raises, the batch is restored to the pending
+        buffer (ahead of any votes submitted since) and the exception
+        propagates — a failed flush never discards votes.  On success
+        in durable mode, the graph is checkpointed (snapshot + WAL
+        rotation) before the outcome is returned.
+        """
         if not len(self.pending):
             return None
         batch = self.pending
+        batch_seqs = self._pending_seqs
         self.pending = VoteSet()
+        self._pending_seqs = []
 
-        if len(batch) >= self.split_merge_threshold:
-            strategy = "split-merge"
-            _, run = solve_split_merge(
-                self.aug, batch, in_place=True, **self.options
-            )
-            changed = len(run.changed_edges)
-        else:
-            strategy = "multi"
-            _, run = solve_multi_vote(
-                self.aug, batch, in_place=True, **self.options
-            )
-            changed = len(run.changed_edges)
+        try:
+            if len(batch) >= self.split_merge_threshold:
+                strategy = "split-merge"
+                _, run = solve_split_merge(
+                    self.aug, batch, in_place=True, **self.options
+                )
+                changed = len(run.changed_edges)
+            else:
+                strategy = "multi"
+                _, run = solve_multi_vote(
+                    self.aug, batch, in_place=True, **self.options
+                )
+                changed = len(run.changed_edges)
+        except BaseException:
+            # Re-queue: the failed batch keeps its arrival order ahead
+            # of anything submitted while it was (briefly) detached.
+            self.pending = VoteSet(batch.votes + self.pending.votes)
+            self._pending_seqs = batch_seqs + self._pending_seqs
+            raise
 
+        if self.store is not None and batch_seqs:
+            self.store.checkpoint(self.aug, max(batch_seqs))
         outcome = BatchOutcome(
             batch_index=len(self.history),
             num_votes=len(batch),
@@ -102,6 +150,76 @@ class OnlineOptimizer:
         )
         self.history.append(outcome)
         return outcome
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Snapshot the current graph explicitly (durable mode only).
+
+        Useful before a planned shutdown while votes are still pending:
+        the snapshot covers everything already *applied*; pending votes
+        stay in the WAL and are re-buffered on recovery.
+        """
+        if self.store is None:
+            raise PersistenceError("checkpoint() requires a DurableStore")
+        if self._pending_seqs:
+            applied_through = min(self._pending_seqs) - 1
+        else:
+            applied_through = self.store.wal.last_seq
+        self.store.checkpoint(self.aug, applied_through)
+
+    @classmethod
+    def recover(
+        cls,
+        store: DurableStore,
+        *,
+        fallback: "AugmentedGraph | None" = None,
+        policy: "object | None" = None,
+        split_merge_threshold: int = 15,
+        options: "dict | None" = None,
+        state: "RecoveredState | None" = None,
+    ) -> "OnlineOptimizer":
+        """Rebuild the optimizer from a store's snapshot + WAL tail.
+
+        Loads the newest valid snapshot (or ``fallback`` when none
+        exists yet — the bootstrap graph of a first run) and replays
+        the WAL records past the snapshot through the normal
+        submit/flush machinery, *without* re-logging them.  With the
+        same policy, threshold, and solver options as the original run,
+        replay fires flushes at exactly the original batch boundaries,
+        so the recovered edge weights equal the pre-crash ones bit for
+        bit.
+
+        ``state`` accepts an already-fetched
+        :class:`~repro.persistence.RecoveredState` (e.g. when the
+        caller inspected it first); by default the store is asked.
+        """
+        if state is None:
+            state = store.recover()
+        aug = state.aug if state.aug is not None else fallback
+        if aug is None:
+            raise PersistenceError(
+                f"{store.directory}: no snapshot to recover from and no "
+                f"fallback graph was provided"
+            )
+        online = cls(
+            aug,
+            policy=policy if policy is not None else CountPolicy(),
+            split_merge_threshold=split_merge_threshold,
+            options=options if options is not None else {},
+            store=store,
+        )
+        online._replay(state.tail)
+        return online
+
+    def _replay(self, records: "tuple[WalRecord, ...] | list[WalRecord]") -> None:
+        """Re-buffer already-durable votes, firing flushes as live mode did."""
+        for record in records:
+            self._pending_seqs.append(record.seq)
+            self.pending.add(record.vote)
+            if self.policy.should_optimize(self.pending):
+                self.flush()
 
     @property
     def total_votes_processed(self) -> int:

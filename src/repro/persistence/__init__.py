@@ -1,0 +1,35 @@
+"""Crash-safe durability for the online feedback loop.
+
+The paper's framework is interactive: votes arrive continuously and
+the graph is optimized *in place* (Algorithm 1, Eq. 19).  Without a
+durability story, a process crash mid-batch silently loses every
+unflushed vote and every optimized weight since the last manual save.
+This subpackage makes the online loop restartable:
+
+- :class:`~repro.persistence.wal.VoteWAL` — append-only,
+  fsync-on-append JSONL vote log with monotonic sequence numbers and
+  torn-tail tolerance;
+- :class:`~repro.persistence.snapshot.SnapshotStore` — atomic
+  (write-temp-then-rename) augmented-graph snapshots stamped with the
+  last WAL sequence they cover;
+- :class:`~repro.persistence.store.DurableStore` — the pair wired
+  together with the log-before-apply / snapshot-after-flush protocol
+  and a :meth:`~repro.persistence.store.DurableStore.recover` routine.
+
+Recovery is deterministic: replaying the WAL tail through the same
+batching policy and solvers reproduces the pre-crash edge weights bit
+for bit (see ``OnlineOptimizer.recover`` and the kill-mid-flush test
+in ``tests/test_failure_injection.py``).
+"""
+
+from repro.persistence.snapshot import SnapshotStore
+from repro.persistence.store import DurableStore, RecoveredState
+from repro.persistence.wal import VoteWAL, WalRecord
+
+__all__ = [
+    "DurableStore",
+    "RecoveredState",
+    "SnapshotStore",
+    "VoteWAL",
+    "WalRecord",
+]

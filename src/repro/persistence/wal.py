@@ -1,0 +1,287 @@
+"""Append-only, fsync-on-append write-ahead log for votes.
+
+The online loop's durability contract is *log before apply*: a vote is
+appended (and fsynced) to the WAL before it enters the optimizer's
+pending buffer, so once ``submit()`` returns, a crash at any later
+point cannot lose it — recovery replays the log tail onto the newest
+snapshot and reproduces the pre-crash state deterministically.
+
+File format: one JSON record per line, ::
+
+    {"seq": 42, "vote": {"query": ..., "ranked_answers": [...],
+                         "best_answer": ..., "weight": 1.0}}
+
+``seq`` is a strictly increasing sequence number assigned at append
+time; snapshots record the last sequence they cover, and rotation
+drops every record at or below that mark.
+
+Torn-write tolerance: a crash can leave a *partial final line* (the
+append was cut mid-write, which also means it never fsynced and the
+vote was never acknowledged).  On open, such a tail is truncated away
+and counted on ``wal_torn_records_total``; a malformed record anywhere
+*before* the tail means real corruption and raises
+:class:`~repro.errors.PersistenceError` instead of guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import PersistenceError
+from repro.graph.persistence import fsync_directory
+from repro.obs import MetricsRegistry, get_registry
+from repro.votes.types import Vote
+
+__all__ = ["WalRecord", "VoteWAL", "vote_to_payload", "vote_from_payload"]
+
+#: JSON-native scalar types a vote's node ids may use.  Anything else
+#: (tuples, custom objects) would not survive the JSON round trip
+#: losslessly, so the WAL rejects it up front.
+_SCALAR_TYPES = (str, int, float, bool)
+
+
+def _check_scalar(value: object, what: str) -> None:
+    if not isinstance(value, _SCALAR_TYPES):
+        raise PersistenceError(
+            f"{what} {value!r} is not JSON-serializable; WAL votes must "
+            f"use str/int/float node ids"
+        )
+
+
+def vote_to_payload(vote: Vote) -> dict:
+    """A vote as a JSON-serializable mapping (lossless for scalar ids)."""
+    _check_scalar(vote.query, "vote query")
+    for answer in vote.ranked_answers:
+        _check_scalar(answer, "vote answer")
+    return {
+        "query": vote.query,
+        "ranked_answers": list(vote.ranked_answers),
+        "best_answer": vote.best_answer,
+        "weight": vote.weight,
+    }
+
+
+def vote_from_payload(payload: dict) -> Vote:
+    """Rebuild a :class:`~repro.votes.types.Vote` from its WAL payload."""
+    try:
+        return Vote(
+            query=payload["query"],
+            ranked_answers=tuple(payload["ranked_answers"]),
+            best_answer=payload["best_answer"],
+            weight=float(payload.get("weight", 1.0)),
+        )
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(f"malformed WAL vote payload: {payload!r}") from exc
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable vote: its sequence number and the vote itself."""
+
+    seq: int
+    vote: Vote
+
+
+def _parse_record(line: bytes, *, path: Path, line_no: int) -> WalRecord:
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise PersistenceError(
+            f"{path}:{line_no}: corrupt WAL record (not valid JSON)"
+        ) from exc
+    if not isinstance(payload, dict) or "seq" not in payload or "vote" not in payload:
+        raise PersistenceError(
+            f"{path}:{line_no}: corrupt WAL record (missing seq/vote)"
+        )
+    seq = payload["seq"]
+    if not isinstance(seq, int) or seq < 1:
+        raise PersistenceError(
+            f"{path}:{line_no}: corrupt WAL record (bad sequence {seq!r})"
+        )
+    return WalRecord(seq=seq, vote=vote_from_payload(payload["vote"]))
+
+
+def _scan(path: Path) -> tuple[list[WalRecord], int, int]:
+    """Parse a WAL file: ``(records, valid_byte_length, torn_records)``.
+
+    The *last* line is allowed to be torn (missing newline or unparsable)
+    — it is dropped and counted.  Any earlier parse failure raises.
+    """
+    raw = path.read_bytes()
+    records: list[WalRecord] = []
+    valid_end = 0
+    offset = 0
+    line_no = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        line_no += 1
+        if newline == -1:
+            # No terminator: the final append was cut mid-write.
+            return records, valid_end, 1
+        line = raw[offset:newline]
+        try:
+            record = _parse_record(line, path=path, line_no=line_no)
+        except PersistenceError:
+            if newline == len(raw) - 1:
+                # Terminated but unparsable final line: also a torn tail
+                # (e.g. the crash landed inside a buffered flush).
+                return records, valid_end, 1
+            raise
+        if records and record.seq <= records[-1].seq:
+            raise PersistenceError(
+                f"{path}:{line_no}: WAL sequence went backwards "
+                f"({records[-1].seq} -> {record.seq})"
+            )
+        records.append(record)
+        valid_end = newline + 1
+        offset = newline + 1
+    return records, valid_end, 0
+
+
+class VoteWAL:
+    """The vote write-ahead log over one JSONL file.
+
+    Parameters
+    ----------
+    path:
+        The log file; created (with parents) when missing.  Opening an
+        existing file replays it into memory, truncates a torn tail,
+        and resumes the sequence counter after the last valid record.
+    registry:
+        Metrics registry for the ``wal_*`` series (defaults to the
+        process-wide one).
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        *,
+        registry: "MetricsRegistry | None" = None,
+    ) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self.registry = registry if registry is not None else get_registry()
+        self._m_appends = self.registry.counter("wal_appends_total")
+        self._m_rotations = self.registry.counter("wal_rotations_total")
+        self._m_torn = self.registry.counter("wal_torn_records_total")
+        self._g_last_seq = self.registry.gauge("wal_last_seq")
+        self._h_append = self.registry.histogram("wal_append_seconds")
+
+        if self._path.exists():
+            self._records, valid_end, torn = _scan(self._path)
+            if torn:
+                self._m_torn.inc(torn)
+                with open(self._path, "r+b") as handle:
+                    handle.truncate(valid_end)
+                    os.fsync(handle.fileno())
+        else:
+            self._records = []
+        self._file = open(self._path, "ab")
+        fsync_directory(self._path.parent)
+        self._last_seq = self._records[-1].seq if self._records else 0
+        self._g_last_seq.set(self._last_seq)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """The underlying log file."""
+        return self._path
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest durable record (0 when empty)."""
+        return self._last_seq
+
+    def records(self, *, after_seq: int = 0) -> list[WalRecord]:
+        """Durable records with ``seq > after_seq``, in log order."""
+        return [r for r in self._records if r.seq > after_seq]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # the durability-critical operations
+    # ------------------------------------------------------------------
+    def append(self, vote: Vote) -> int:
+        """Durably log one vote; returns its sequence number.
+
+        The record is written, flushed, and **fsynced** before this
+        method returns — once the caller sees the sequence number, no
+        crash can lose the vote.
+        """
+        if self._file.closed:
+            raise PersistenceError(f"{self._path}: WAL is closed")
+        started = time.perf_counter()
+        seq = self._last_seq + 1
+        record = WalRecord(seq=seq, vote=vote)
+        line = json.dumps(
+            {"seq": seq, "vote": vote_to_payload(vote)},
+            separators=(",", ":"),
+            sort_keys=True,
+        )
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._records.append(record)
+        self._last_seq = seq
+        self._m_appends.inc()
+        self._g_last_seq.set(seq)
+        self._h_append.observe(time.perf_counter() - started)
+        return seq
+
+    def rotate(self, *, up_to_seq: int) -> int:
+        """Drop every record with ``seq <= up_to_seq``; returns kept count.
+
+        Called after a snapshot covering ``up_to_seq`` is durable: the
+        dropped records are fully reflected in the snapshot and replay
+        must not see them again.  The survivors are rewritten to a
+        temporary file that atomically replaces the log, so a crash
+        mid-rotation leaves either the full old log (harmless: recovery
+        filters ``seq <= snapshot``) or the complete trimmed one.
+        """
+        survivors = [r for r in self._records if r.seq > up_to_seq]
+        if len(survivors) == len(self._records):
+            return len(survivors)
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            for record in survivors:
+                line = json.dumps(
+                    {"seq": record.seq, "vote": vote_to_payload(record.vote)},
+                    separators=(",", ":"),
+                    sort_keys=True,
+                )
+                handle.write(line.encode("utf-8") + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._file.close()
+        os.replace(tmp, self._path)
+        fsync_directory(self._path.parent)
+        self._file = open(self._path, "ab")
+        self._records = survivors
+        # The sequence counter never rewinds: new appends continue
+        # strictly after every sequence ever handed out.
+        self._m_rotations.inc()
+        return len(survivors)
+
+    def close(self) -> None:
+        """Close the underlying file handle (records stay on disk)."""
+        if not self._file.closed:
+            self._file.close()
+
+    def __enter__(self) -> "VoteWAL":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<VoteWAL path={str(self._path)!r} records={len(self._records)} "
+            f"last_seq={self._last_seq}>"
+        )

@@ -401,6 +401,55 @@ class QASystem:
         return report
 
     # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def persist(self, path: str) -> None:
+        """Atomically write the augmented graph (weights + roles) to disk.
+
+        The write goes through
+        :func:`~repro.graph.persistence.save_augmented_graph` (temp
+        file + rename), so a crash mid-save never leaves a torn file.
+        Pair with :meth:`restore` to survive restarts; for continuous
+        crash-safety of the vote stream itself, drive optimization
+        through a durable
+        :class:`~repro.optimize.online.OnlineOptimizer` instead.
+        """
+        from repro.graph.persistence import save_augmented_graph
+
+        save_augmented_graph(self._aug, path)
+
+    def restore(self, path: str) -> None:
+        """Replace the live graph with one previously :meth:`persist`\\ ed.
+
+        The serving engine is rebuilt over the restored graph, so its
+        matrix epoch starts fresh and the score LRU can never serve
+        vectors computed against the pre-restore weights.  Per-session
+        state tied to the old graph — shown answer lists and pending
+        votes — is cleared; in a durable deployment pending votes live
+        in the write-ahead log, not here.
+        """
+        from repro.graph.persistence import load_augmented_graph
+
+        aug = load_augmented_graph(path)
+        old_engine = self._engine
+        self._aug = aug
+        if old_engine is not None:
+            old_engine.close()
+            self._engine = SimilarityEngine(
+                aug, params=self._params, cache_size=old_engine.cache_size
+            )
+        self._shown.clear()
+        self._votes = VoteSet()
+        # Keep auto-generated question ids collision-free with any
+        # __qN queries the restored graph carries.
+        for node in aug.query_nodes:
+            text = str(node)
+            if text.startswith("__q") and text[3:].isdigit():
+                self._question_counter = max(
+                    self._question_counter, int(text[3:]) + 1
+                )
+
+    # ------------------------------------------------------------------
     # evaluation & access
     # ------------------------------------------------------------------
     @property

@@ -184,6 +184,11 @@ class SimilarityEngine:
         """The served graph's current mutation version."""
         return self._aug.graph.version
 
+    @property
+    def cache_size(self) -> int:
+        """The configured bound on the per-query score LRU."""
+        return self._cache_size
+
     def stats(self) -> EngineStats:
         """A snapshot of the observability counters.
 

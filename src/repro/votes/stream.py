@@ -20,14 +20,22 @@ optimization.  This module provides the batching layer:
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Sized
 
 from repro.errors import VoteError
-from repro.votes.types import Vote
+from repro.votes.types import Vote, VoteSet
 
 
 class CountPolicy:
-    """Trigger after every ``batch_size`` votes."""
+    """Trigger after every ``batch_size`` votes.
+
+    ``should_optimize`` prefers ``len()`` on sized collections (the
+    normal :class:`~repro.votes.types.VoteSet` case) and otherwise
+    counts with early exit, consuming a one-shot iterator no further
+    than the decision requires.  Note that an exhausted generator
+    passed *again* necessarily counts as empty — hand policies a
+    collection when the same pending set is consulted repeatedly.
+    """
 
     def __init__(self, batch_size: int = 10) -> None:
         if batch_size < 1:
@@ -36,7 +44,14 @@ class CountPolicy:
 
     def should_optimize(self, pending: "Iterable[Vote]") -> bool:
         """Whether the pending votes warrant an optimization pass."""
-        return sum(1 for _ in pending) >= self.batch_size
+        if isinstance(pending, Sized):
+            return len(pending) >= self.batch_size
+        count = 0
+        for _ in pending:
+            count += 1
+            if count >= self.batch_size:
+                return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CountPolicy(batch_size={self.batch_size})"
@@ -56,8 +71,20 @@ class NegativeCountPolicy:
         self.negative_votes = negative_votes
 
     def should_optimize(self, pending: "Iterable[Vote]") -> bool:
-        """Whether enough negative feedback has accumulated."""
-        return sum(1 for v in pending if v.is_negative) >= self.negative_votes
+        """Whether enough negative feedback has accumulated.
+
+        Works on any iterable (one pass, early exit); see
+        :class:`CountPolicy` for the one-shot-iterator caveat.
+        """
+        if isinstance(pending, VoteSet):
+            return pending.num_negative >= self.negative_votes
+        negatives = 0
+        for vote in pending:
+            if vote.is_negative:
+                negatives += 1
+                if negatives >= self.negative_votes:
+                    return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"NegativeCountPolicy(negative_votes={self.negative_votes})"
@@ -78,7 +105,12 @@ class ConflictPolicy:
         self.max_pending = max_pending
 
     def should_optimize(self, pending: "Iterable[Vote]") -> bool:
-        """Whether a conflict exists or the backlog is too large."""
+        """Whether a conflict exists or the backlog is too large.
+
+        One pass with early exit, so one-shot iterators are consumed
+        only as far as the first trigger; see :class:`CountPolicy` for
+        the caveat on re-passing an exhausted generator.
+        """
         best_by_query: dict = {}
         count = 0
         for vote in pending:
@@ -86,7 +118,9 @@ class ConflictPolicy:
             seen = best_by_query.setdefault(vote.query, vote.best_answer)
             if seen != vote.best_answer:
                 return True
-        return count >= self.max_pending
+            if count >= self.max_pending:
+                return True
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ConflictPolicy(max_pending={self.max_pending})"

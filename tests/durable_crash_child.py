@@ -1,0 +1,52 @@
+"""Child process for the kill-mid-flush crash test (not a test module).
+
+Streams the shared scenario's votes into a durable
+:class:`~repro.optimize.online.OnlineOptimizer` and SIGKILLs itself in
+the middle of a chosen flush — after the solver applied the batch but
+*before* the checkpoint made it durable.  What survives on disk is
+exactly what the WAL + earlier snapshots guarantee: every fsynced vote,
+and the graph as of the last completed checkpoint.
+
+Usage: ``python durable_crash_child.py WAL_DIR CRASH_AT_CHECKPOINT``
+"""
+
+import os
+import signal
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from durable_scenario import BATCH_SIZE, build_scenario  # noqa: E402
+
+from repro.optimize.online import OnlineOptimizer  # noqa: E402
+from repro.persistence import DurableStore  # noqa: E402
+from repro.votes.stream import CountPolicy  # noqa: E402
+
+
+def main() -> None:
+    wal_dir = sys.argv[1]
+    crash_at = int(sys.argv[2])
+
+    aug, votes = build_scenario()
+    store = DurableStore(wal_dir)
+    real_checkpoint = store.checkpoint
+    calls = {"n": 0}
+
+    def crashing_checkpoint(graph, last_applied_seq):
+        calls["n"] += 1
+        if calls["n"] == crash_at:
+            # Die mid-flush, before this checkpoint persists anything.
+            os.kill(os.getpid(), signal.SIGKILL)
+        real_checkpoint(graph, last_applied_seq)
+
+    store.checkpoint = crashing_checkpoint  # type: ignore[method-assign]
+
+    online = OnlineOptimizer(aug, policy=CountPolicy(BATCH_SIZE), store=store)
+    for vote in votes:
+        online.submit(vote)
+    # Only reached when crash_at exceeds the number of flushes.
+    store.close()
+
+
+if __name__ == "__main__":
+    main()

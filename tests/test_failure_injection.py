@@ -1,10 +1,17 @@
 """Failure-injection tests: the pipeline must degrade loudly or safely.
 
 Each test constructs a pathological input — degenerate graphs, hostile
-votes, broken solver budgets — and checks that the library either
-raises a typed error or returns a well-formed "nothing to do" result,
-never a silently corrupted graph.
+votes, broken solver budgets, a process killed mid-flush — and checks
+that the library either raises a typed error, returns a well-formed
+"nothing to do" result, or recovers the exact pre-crash state; never a
+silently corrupted graph.
 """
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -18,9 +25,15 @@ from repro.errors import (
 from repro.graph import AugmentedGraph, WeightedDiGraph, random_digraph
 from repro.optimize import solve_multi_vote, solve_single_votes, solve_split_merge
 from repro.optimize.encoder import encode_votes
+from repro.optimize.online import OnlineOptimizer
+from repro.persistence import DurableStore
 from repro.sgp import SGPProblem, Signomial, solve_sgp
 from repro.similarity import inverse_pdistance, ppr_vector, rank_answers
 from repro.votes import Vote, VoteSet
+from repro.votes.stream import CountPolicy
+from tests.durable_scenario import BATCH_SIZE, build_scenario, kg_weights
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def minimal_aug():
@@ -216,3 +229,110 @@ class TestNumericalEdges:
         aug = minimal_aug()
         scores = inverse_pdistance(aug.graph, "q", ["a1"], max_length=200)
         assert 0 <= scores["a1"] <= 1.0
+
+
+def crash_dir(tmp_path, name):
+    """Durable-store directory for a crash test.
+
+    Honors ``CRASH_TEST_DIR`` so CI can point the tests at a workspace
+    path and upload the WAL/snapshot files as artifacts on failure.
+    """
+    base = os.environ.get("CRASH_TEST_DIR")
+    directory = (Path(base) if base else tmp_path) / name
+    directory.mkdir(parents=True, exist_ok=True)
+    return directory
+
+
+def reference_weights(upto=None, batch_size=BATCH_SIZE):
+    """Edge weights of an uninterrupted run over the shared scenario."""
+    aug, votes = build_scenario()
+    online = OnlineOptimizer(aug, policy=CountPolicy(batch_size))
+    for vote in votes if upto is None else votes[:upto]:
+        online.submit(vote)
+    return aug, votes, online
+
+
+class TestCrashRecovery:
+    """Kill-mid-flush and torn-tail scenarios against the durable store."""
+
+    def test_kill_mid_flush_recovers_bitwise(self, tmp_path):
+        """SIGKILL during the second checkpoint loses nothing.
+
+        A child process streams the shared scenario's votes and dies
+        inside its second flush — after the solver mutated its
+        in-memory graph, before the checkpoint persisted anything.  The
+        parent recovers from what hit disk (first snapshot + WAL tail),
+        finishes the stream, and must land on weights bitwise equal to
+        an uninterrupted run.
+        """
+        wal_dir = crash_dir(tmp_path, "kill-mid-flush")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tests" / "durable_crash_child.py"),
+                str(wal_dir),
+                "2",
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        fallback, votes = build_scenario()
+        with DurableStore(wal_dir) as store:
+            recovered = OnlineOptimizer.recover(
+                store,
+                fallback=fallback,
+                policy=CountPolicy(BATCH_SIZE),
+            )
+            # The child got through flush #1 (votes 1..3, checkpointed)
+            # and died in flush #2 (votes 4..6): replay refires batch 2.
+            assert len(recovered.history) == 1
+            assert recovered.total_votes_processed == BATCH_SIZE
+            for vote in votes[2 * BATCH_SIZE :]:
+                recovered.submit(vote)
+
+        reference_aug, _, reference = reference_weights()
+        # Batch 1 predates the snapshot, so only batch 2 is in the
+        # recovered history; the weights must still match exactly.
+        assert len(recovered.history) + 1 == len(reference.history)
+        assert kg_weights(recovered.aug) == kg_weights(reference_aug)
+
+    def test_torn_final_wal_record_is_skipped(self, tmp_path):
+        """A torn trailing record truncates cleanly; earlier votes survive.
+
+        Simulates a crash mid-``write``: the last WAL line is cut short
+        (no terminator).  Recovery must drop exactly that record, keep
+        every fsynced vote before it, and land on the same weights as a
+        run that never saw the torn vote.
+        """
+        wal_dir = crash_dir(tmp_path, "torn-tail")
+        aug, votes = build_scenario()
+        with DurableStore(wal_dir) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(batch_size=100), store=store
+            )
+            for vote in votes[:5]:
+                online.submit(vote)
+        wal_path = wal_dir / "votes.wal"
+        intact = wal_path.read_bytes()
+        wal_path.write_bytes(intact + b'{"seq": 6, "vote": {"que')
+
+        fallback, _ = build_scenario()
+        with DurableStore(wal_dir) as store:
+            recovered = OnlineOptimizer.recover(
+                store,
+                fallback=fallback,
+                policy=CountPolicy(batch_size=100),
+            )
+            assert len(recovered.pending) == 5
+            assert store.wal.last_seq == 5
+            recovered.flush()
+
+        reference_aug, _, reference = reference_weights(upto=5, batch_size=100)
+        reference.flush()
+        assert kg_weights(recovered.aug) == kg_weights(reference_aug)

@@ -110,3 +110,105 @@ class TestErrorHandling:
         path.write_text(json.dumps(payload))
         with pytest.raises(GraphError):
             load_augmented_graph(path)
+
+
+class TestLinkRoleRouting:
+    """Satellite of the durability work: query→answer edges fail loudly.
+
+    The loader used to route any link edge whose head was a query into
+    ``query_links`` — a query→answer edge silently became a "query
+    link" to a node that is not an entity, and the answer surfaced much
+    later as a confusing "no links" error.  Both directions of the
+    round trip now reject the shape by name.
+    """
+
+    @staticmethod
+    def query_to_answer_payload():
+        return {
+            "format": "repro-augmented-graph",
+            "version": 1,
+            "nodes": ["e1", "q1", "a1"],
+            "edges": [
+                ["q1", "e1", 1.0],
+                ["e1", "a1", 1.0],
+                ["q1", "a1", 0.5],  # the illegal shortcut
+            ],
+            "queries": ["q1"],
+            "answers": ["a1"],
+        }
+
+    def test_load_rejects_query_to_answer_edge(self, tmp_path):
+        path = tmp_path / "shortcut.json"
+        path.write_text(json.dumps(self.query_to_answer_payload()))
+        with pytest.raises(GraphError, match="query .*directly to an answer"):
+            load_augmented_graph(path)
+
+    def test_load_rejects_answer_out_edge(self, tmp_path):
+        payload = self.query_to_answer_payload()
+        payload["edges"][2] = ["a1", "e1", 0.5]
+        path = tmp_path / "absorbing.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(GraphError, match="against the role structure"):
+            load_augmented_graph(path)
+
+    def test_save_rejects_hand_crafted_query_to_answer_edge(self, aug, tmp_path):
+        # The API cannot create this edge; inject it behind the role
+        # bookkeeping's back, as a buggy caller with raw graph access
+        # would.
+        aug.graph.add_edge("q1", "ans1", 0.5)
+        with pytest.raises(GraphError, match="query directly to an answer"):
+            save_augmented_graph(aug, tmp_path / "never-written.json")
+        assert not (tmp_path / "never-written.json").exists()
+
+    def test_api_cannot_create_query_to_answer_edge(self, aug):
+        """The shape is unreachable through AugmentedGraph itself."""
+        with pytest.raises(GraphError):
+            aug.add_query("q_bad", {"ans1": 1.0})  # answer as link target
+        with pytest.raises(GraphError):
+            aug.add_answer("a_bad", {"q1": 1.0})  # query as link source
+
+
+class TestMeta:
+    def test_meta_round_trips(self, aug, tmp_path):
+        from repro.graph.persistence import read_augmented_graph_meta
+
+        path = tmp_path / "with-meta.json"
+        save_augmented_graph(aug, path, meta={"last_applied_seq": 17})
+        assert read_augmented_graph_meta(path) == {"last_applied_seq": 17}
+        # The key is additive: loading ignores it entirely.
+        loaded = load_augmented_graph(path)
+        assert loaded.query_nodes == aug.query_nodes
+
+    def test_missing_meta_reads_empty(self, aug, tmp_path):
+        from repro.graph.persistence import read_augmented_graph_meta
+
+        path = tmp_path / "no-meta.json"
+        save_augmented_graph(aug, path)
+        assert read_augmented_graph_meta(path) == {}
+
+    def test_non_mapping_meta_rejected(self, aug, tmp_path):
+        from repro.graph.persistence import read_augmented_graph_meta
+
+        path = tmp_path / "bad-meta.json"
+        save_augmented_graph(aug, path)
+        payload = json.loads(path.read_text())
+        payload["meta"] = [1, 2, 3]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(GraphError):
+            read_augmented_graph_meta(path)
+
+
+class TestAtomicWrite:
+    def test_no_tmp_file_left_behind(self, aug, tmp_path):
+        path = tmp_path / "graph.json"
+        save_augmented_graph(aug, path)
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_overwrite_is_all_or_nothing(self, aug, tmp_path):
+        path = tmp_path / "graph.json"
+        save_augmented_graph(aug, path)
+        first = path.read_bytes()
+        aug.graph.set_weight(*next(iter(aug.kg_edges())).key, 0.123)
+        save_augmented_graph(aug, path)
+        assert path.read_bytes() != first
+        assert load_augmented_graph(path) is not None

@@ -1,0 +1,238 @@
+"""Durable-mode tests for the online loop and QASystem persistence."""
+
+import pytest
+
+from repro.errors import PersistenceError, SGPSolverError
+from repro.optimize.online import OnlineOptimizer
+from repro.persistence import DurableStore
+from repro.qa import QASystem, build_knowledge_graph, generate_helpdesk_corpus
+from repro.votes import VoteSet
+from repro.votes.stream import CountPolicy
+from tests.durable_scenario import BATCH_SIZE, build_scenario, kg_weights
+
+
+class TestDurableOnlineLoop:
+    def test_submit_logs_before_buffering(self, tmp_path):
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(batch_size=100), store=store
+            )
+            online.submit(votes[0])
+            assert store.wal.last_seq == 1
+            assert len(online.pending) == 1
+
+    def test_checkpoint_after_flush_rotates_wal(self, tmp_path):
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(BATCH_SIZE), store=store
+            )
+            for vote in votes[: BATCH_SIZE + 1]:
+                online.submit(vote)
+            # The flushed batch left the WAL; the straggler remains.
+            assert [r.seq for r in store.wal.records()] == [BATCH_SIZE + 1]
+            assert store.snapshots.latest()[1] == BATCH_SIZE
+
+    def test_recover_reproduces_live_state_bitwise(self, tmp_path):
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(BATCH_SIZE), store=store
+            )
+            for vote in votes:
+                online.submit(vote)
+            live_weights = kg_weights(aug)
+            live_pending = list(online.pending.votes)
+
+        with DurableStore(tmp_path) as store:
+            recovered = OnlineOptimizer.recover(
+                store, policy=CountPolicy(BATCH_SIZE)
+            )
+            assert kg_weights(recovered.aug) == live_weights
+            assert list(recovered.pending.votes) == live_pending
+
+    def test_recover_without_snapshot_uses_fallback(self, tmp_path):
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(batch_size=100), store=store
+            )
+            for vote in votes[:2]:
+                online.submit(vote)
+
+        fallback, _ = build_scenario()
+        with DurableStore(tmp_path) as store:
+            recovered = OnlineOptimizer.recover(
+                store, fallback=fallback, policy=CountPolicy(batch_size=100)
+            )
+            assert recovered.aug is fallback
+            assert len(recovered.pending) == 2
+
+    def test_recover_without_snapshot_or_fallback_raises(self, tmp_path):
+        with DurableStore(tmp_path) as store:
+            with pytest.raises(PersistenceError, match="no snapshot"):
+                OnlineOptimizer.recover(store)
+
+    def test_manual_checkpoint_keeps_pending_in_wal(self, tmp_path):
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(BATCH_SIZE), store=store
+            )
+            for vote in votes[: BATCH_SIZE + 2]:
+                online.submit(vote)
+            online.checkpoint()  # planned shutdown with 2 votes pending
+
+        with DurableStore(tmp_path) as store:
+            recovered = OnlineOptimizer.recover(
+                store, policy=CountPolicy(BATCH_SIZE)
+            )
+            assert len(recovered.pending) == 2
+            assert recovered.history == []  # applied work is in the snapshot
+
+    def test_checkpoint_without_store_raises(self):
+        aug, _ = build_scenario()
+        with pytest.raises(PersistenceError):
+            OnlineOptimizer(aug).checkpoint()
+
+
+class TestFlushFailureRequeue:
+    """A solver exception must not cost the pending batch (the old bug)."""
+
+    def test_failed_flush_requeues_batch(self, streaming_setup_small,
+                                         monkeypatch):
+        aug, votes = streaming_setup_small
+
+        def exploding(*args, **kwargs):
+            raise SGPSolverError("injected solver failure")
+
+        monkeypatch.setattr(
+            "repro.optimize.online.solve_multi_vote", exploding
+        )
+        online = OnlineOptimizer(aug, policy=CountPolicy(BATCH_SIZE))
+        with pytest.raises(SGPSolverError):
+            for vote in votes:
+                online.submit(vote)
+        assert len(online.pending) == BATCH_SIZE
+        assert online.history == []
+
+        # With the solver healthy again, the same votes flush fine.
+        monkeypatch.undo()
+        outcome = online.flush()
+        assert outcome is not None
+        assert outcome.num_votes == BATCH_SIZE
+
+    def test_failed_flush_preserves_arrival_order(self, streaming_setup_small,
+                                                  monkeypatch):
+        aug, votes = streaming_setup_small
+        online = OnlineOptimizer(aug, policy=CountPolicy(batch_size=100))
+        for vote in votes[:4]:
+            online.submit(vote)
+
+        def exploding(*args, **kwargs):
+            raise SGPSolverError("injected solver failure")
+
+        monkeypatch.setattr(
+            "repro.optimize.online.solve_multi_vote", exploding
+        )
+        with pytest.raises(SGPSolverError):
+            online.flush()
+        assert list(online.pending.votes) == votes[:4]
+
+    def test_failed_flush_keeps_wal_seqs_aligned(self, streaming_setup_small,
+                                                 tmp_path, monkeypatch):
+        aug, votes = streaming_setup_small
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(BATCH_SIZE), store=store
+            )
+
+            def exploding(*args, **kwargs):
+                raise SGPSolverError("injected solver failure")
+
+            monkeypatch.setattr(
+                "repro.optimize.online.solve_multi_vote", exploding
+            )
+            with pytest.raises(SGPSolverError):
+                for vote in votes[:BATCH_SIZE]:
+                    online.submit(vote)
+            # Votes and their WAL sequences are both intact and aligned.
+            assert len(online.pending) == BATCH_SIZE
+            assert online._pending_seqs == [1, 2, 3]
+            assert store.wal.last_seq == BATCH_SIZE
+
+            monkeypatch.undo()
+            online.flush()
+            assert store.wal.records() == []  # rotated after the retry
+
+
+@pytest.fixture
+def streaming_setup_small():
+    return build_scenario()
+
+
+class TestQASystemPersistence:
+    @pytest.fixture
+    def system(self):
+        corpus = generate_helpdesk_corpus(
+            num_topics=3,
+            entities_per_topic=6,
+            docs_per_topic=3,
+            num_train_questions=6,
+            num_test_questions=4,
+            seed=11,
+        )
+        kg = build_knowledge_graph(corpus.document_texts(), corpus.vocabulary)
+        qa = QASystem(kg, corpus.vocabulary, k=5)
+        qa.add_documents(corpus.document_texts())
+        return qa, corpus
+
+    def test_persist_restore_round_trips_weights(self, system, tmp_path):
+        qa, _ = system
+        path = tmp_path / "qa-graph.json"
+        before = {e.key: e.weight for e in qa.augmented_graph.kg_edges()}
+        qa.persist(path)
+        qa.restore(path)
+        after = {e.key: e.weight for e in qa.augmented_graph.kg_edges()}
+        assert after == before
+
+    def test_restore_discards_stale_engine_cache(self, system, tmp_path):
+        """Post-restore scores reflect restored weights, not the LRU."""
+        qa, _ = system
+        question = "how do i " + sorted(qa.augmented_graph.entity_nodes)[0]
+        path = tmp_path / "qa-graph.json"
+        qa.persist(path)
+        baseline = qa.ask(question, question_id="probe")
+
+        # Corrupt the live weights and warm the cache against them.
+        edge = next(iter(qa.augmented_graph.kg_edges()))
+        qa.augmented_graph.set_kg_weight(edge.head, edge.tail, 1e-3)
+        qa.ask(question, question_id="probe")
+
+        qa.restore(path)
+        assert qa.augmented_graph.kg_weight(edge.head, edge.tail) == \
+            edge.weight
+        restored = qa.ask(question, question_id="probe")
+        assert restored == baseline
+
+    def test_restore_clears_session_state(self, system, tmp_path):
+        qa, _ = system
+        question = "tell me about " + sorted(qa.augmented_graph.entity_nodes)[0]
+        path = tmp_path / "qa-graph.json"
+        ranked = qa.ask(question)
+        qa.vote("__q0", ranked[0][0])
+        assert len(qa.pending_votes) == 1
+        qa.persist(path)
+        qa.restore(path)
+        assert len(qa.pending_votes) == 0
+        # Auto ids continue past the persisted __q0 query node.
+        qa.ask(question)
+        assert "__q1" in qa.augmented_graph.query_nodes
+
+    def test_restored_votes_are_empty_voteset(self, system, tmp_path):
+        qa, _ = system
+        path = tmp_path / "qa-graph.json"
+        qa.persist(path)
+        qa.restore(path)
+        assert isinstance(qa.pending_votes, VoteSet)

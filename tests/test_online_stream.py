@@ -64,6 +64,77 @@ class TestConflictPolicy:
             ConflictPolicy(max_pending=0)
 
 
+class TestGeneratorInputs:
+    """Policies must work on one-shot iterators without over-draining.
+
+    Regression: ``should_optimize`` used to count with
+    ``sum(1 for _ in pending)``, which silently exhausted a generator —
+    the caller's votes were gone even when the policy said "not yet".
+    """
+
+    @staticmethod
+    def counting_iter(votes, consumed):
+        for vote in votes:
+            consumed.append(vote)
+            yield vote
+
+    def test_count_policy_accepts_generator(self):
+        policy = CountPolicy(batch_size=3)
+        votes = [make_vote(i) for i in range(5)]
+        assert policy.should_optimize(v for v in votes)
+        assert not policy.should_optimize(v for v in votes[:2])
+
+    def test_count_policy_stops_at_decision(self):
+        policy = CountPolicy(batch_size=3)
+        votes = [make_vote(i) for i in range(10)]
+        consumed = []
+        assert policy.should_optimize(self.counting_iter(votes, consumed))
+        # Early exit: the iterator is drained no further than needed.
+        assert len(consumed) == 3
+
+    def test_count_policy_does_not_drain_voteset(self):
+        policy = CountPolicy(batch_size=5)
+        pending = [make_vote(i) for i in range(3)]
+        assert not policy.should_optimize(pending)
+        # A second consultation sees the same votes (lists/VoteSets are
+        # not consumed).
+        assert not policy.should_optimize(pending)
+        assert len(pending) == 3
+
+    def test_negative_policy_accepts_generator(self):
+        policy = NegativeCountPolicy(negative_votes=2)
+        votes = [make_vote(0, negative=False), make_vote(1), make_vote(2)]
+        assert policy.should_optimize(v for v in votes)
+        assert not policy.should_optimize(
+            v for v in votes if not v.is_negative
+        )
+
+    def test_negative_policy_stops_at_decision(self):
+        policy = NegativeCountPolicy(negative_votes=2)
+        votes = [make_vote(i) for i in range(10)]  # all negative
+        consumed = []
+        assert policy.should_optimize(self.counting_iter(votes, consumed))
+        assert len(consumed) == 2
+
+    def test_conflict_policy_accepts_generator(self):
+        policy = ConflictPolicy(max_pending=100)
+        votes = [
+            make_vote(0, query="same"),
+            make_vote(1, negative=False, query="same"),
+            make_vote(2, query="other"),
+        ]
+        consumed = []
+        assert policy.should_optimize(self.counting_iter(votes, consumed))
+        # The conflict sits at vote 2; vote 3 is never pulled.
+        assert len(consumed) == 2
+
+    def test_conflict_policy_backlog_on_generator(self):
+        policy = ConflictPolicy(max_pending=3)
+        votes = [make_vote(i) for i in range(5)]  # distinct queries
+        assert policy.should_optimize(v for v in votes)
+        assert not policy.should_optimize(v for v in votes[:2])
+
+
 @pytest.fixture
 def streaming_setup():
     """Corrupted helpdesk graph + an oracle-driven vote stream."""
