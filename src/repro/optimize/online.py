@@ -22,8 +22,11 @@ Durable mode (``store=DurableStore(...)``) makes the loop crash-safe:
   the same policy and solvers, reproducing the weights bit for bit.
 
 A solver failure during ``flush()`` re-queues the batch (it is *not*
-discarded) and re-raises, so the votes survive in memory — and, in
-durable mode, on disk — for a retry.
+discarded), rolls the knowledge-graph weights back to their pre-flush
+values (the solvers run in place, so an exception mid-apply could
+otherwise leave a partial solve behind), and re-raises — the votes
+survive in memory (and, in durable mode, on disk) and a retry re-runs
+against exactly the state a durable recovery would rebuild.
 """
 
 from __future__ import annotations
@@ -105,10 +108,14 @@ class OnlineOptimizer:
         """Optimize against all pending votes now (no-op when empty).
 
         If the solver raises, the batch is restored to the pending
-        buffer (ahead of any votes submitted since) and the exception
-        propagates — a failed flush never discards votes.  On success
-        in durable mode, the graph is checkpointed (snapshot + WAL
-        rotation) before the outcome is returned.
+        buffer (ahead of any votes submitted since), the graph's
+        knowledge-graph weights are rolled back to their pre-flush
+        values, and the exception propagates — a failed flush never
+        discards votes *and* never leaves a half-applied solve behind,
+        so an in-process retry re-runs the batch against exactly the
+        state a durable recovery would rebuild.  On success in durable
+        mode, the graph is checkpointed (snapshot + WAL rotation)
+        before the outcome is returned.
         """
         if not len(self.pending):
             return None
@@ -116,6 +123,12 @@ class OnlineOptimizer:
         batch_seqs = self._pending_seqs
         self.pending = VoteSet()
         self._pending_seqs = []
+        # The solvers run with in_place=True, and their one mutation of
+        # the graph is knowledge-graph edge weights (apply_edge_weights)
+        # — snapshot those so an exception thrown mid-apply can be
+        # rolled back instead of leaving a partial solve on the live
+        # graph.
+        weights_before = {edge.key: edge.weight for edge in self.aug.kg_edges()}
 
         try:
             if len(batch) >= self.split_merge_threshold:
@@ -131,6 +144,11 @@ class OnlineOptimizer:
                 )
                 changed = len(run.changed_edges)
         except BaseException:
+            # Roll back any weights the failed solve already wrote, so
+            # a retry starts from the same graph recovery would rebuild.
+            for (head, tail), weight in weights_before.items():
+                if self.aug.kg_weight(head, tail) != weight:
+                    self.aug.set_kg_weight(head, tail, weight)
             # Re-queue: the failed batch keeps its arrival order ahead
             # of anything submitted while it was (briefly) detached.
             self.pending = VoteSet(batch.votes + self.pending.votes)

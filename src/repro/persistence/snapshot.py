@@ -112,22 +112,43 @@ class SnapshotStore:
             removed += 1
         return removed
 
+    def newest_seq(self) -> int:
+        """The highest sequence any on-disk snapshot claims to cover.
+
+        Judged from the file names alone (no parsing): :meth:`write`
+        derives the name from ``last_applied_seq``, and the caller —
+        the durable store re-seeding its WAL counter — only needs a
+        floor that no acknowledged sequence exceeds, so even a stray
+        over-numbered file merely leaves a harmless gap.  Returns 0
+        when no snapshot exists.
+        """
+        files = self._snapshot_files()
+        return files[0][0] if files else 0
+
     def latest(self) -> "tuple[AugmentedGraph, int] | None":
         """The newest *loadable* snapshot as ``(graph, last_applied_seq)``.
 
         Invalid snapshot files are skipped (and counted on
         ``snapshot_invalid_total``); ``None`` means no usable snapshot
-        exists at all.
+        exists at all.  "Invalid" covers any failure to read the file
+        or make sense of its structure — not just well-formed
+        :class:`~repro.errors.GraphError` rejections but also missing
+        keys, mis-shaped edge entries, non-numeric weights, and a file
+        deleted between listing and reading — so one rotten snapshot
+        can never wedge recovery when an older valid one exists.
         """
         for name_seq, path in self._snapshot_files():
             try:
-                aug = load_augmented_graph(path)
+                # Meta first: rejecting a bad sequence is cheap, the
+                # graph parse is not.
                 meta = read_augmented_graph_meta(path)
-            except GraphError:
-                self._m_invalid.inc()
-                continue
-            seq = meta.get("last_applied_seq", name_seq)
-            if not isinstance(seq, int) or seq < 0:
+                seq = meta.get("last_applied_seq", name_seq)
+                # bool is an int subclass; True must not pass as seq 1.
+                if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+                    self._m_invalid.inc()
+                    continue
+                aug = load_augmented_graph(path)
+            except (GraphError, KeyError, TypeError, ValueError, OSError):
                 self._m_invalid.inc()
                 continue
             return aug, seq

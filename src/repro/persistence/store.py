@@ -91,6 +91,12 @@ class DurableStore:
         self.registry = registry if registry is not None else get_registry()
         self.wal = VoteWAL(self._directory / WAL_FILENAME, registry=self.registry)
         self.snapshots = SnapshotStore(self._directory, registry=self.registry)
+        # The WAL's sequence counter lives only in its records, so a
+        # checkpoint that rotated the log empty forgets every sequence
+        # already handed out; seed it past the newest snapshot or the
+        # next append would reuse an acknowledged sequence and recovery
+        # would filter the new vote out as already applied.
+        self.wal.ensure_seq_at_least(self.snapshots.newest_seq())
         self._m_replayed = self.registry.counter("wal_replayed_total")
         self._m_recoveries = self.registry.counter("snapshot_recoveries_total")
         self._h_recover = self.registry.histogram("snapshot_recover_seconds")

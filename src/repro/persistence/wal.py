@@ -18,14 +18,28 @@ drops every record at or below that mark.
 Torn-write tolerance: a crash can leave a *partial final line* (the
 append was cut mid-write, which also means it never fsynced and the
 vote was never acknowledged).  On open, such a tail is truncated away
-and counted on ``wal_torn_records_total``; a malformed record anywhere
-*before* the tail means real corruption and raises
+and counted on ``wal_torn_records_total``.  A final line that *is*
+newline-terminated but fails to parse is also dropped — usually the
+crash landed inside a buffered flush — but because a terminated record
+may instead be an fsynced (acknowledged) vote whose bytes rotted
+later, that case is additionally logged as a warning so the operator
+can tell the two apart.  A malformed record anywhere *before* the
+tail means real corruption and raises
 :class:`~repro.errors.PersistenceError` instead of guessing.
+
+The sequence counter is in-memory state seeded at open time.  A WAL
+that was rotated empty carries no record of the sequences it already
+handed out, so :class:`~repro.persistence.store.DurableStore` re-seeds
+the counter from its newest snapshot via :meth:`VoteWAL.ensure_seq_at_least`
+— without that, a restart after a draining checkpoint would reuse
+sequence numbers at or below the snapshot's and recovery would filter
+the new votes out as already applied.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass
@@ -37,6 +51,8 @@ from repro.obs import MetricsRegistry, get_registry
 from repro.votes.types import Vote
 
 __all__ = ["WalRecord", "VoteWAL", "vote_to_payload", "vote_from_payload"]
+
+logger = logging.getLogger(__name__)
 
 #: JSON-native scalar types a vote's node ids may use.  Anything else
 #: (tuples, custom objects) would not survive the JSON round trip
@@ -125,10 +141,20 @@ def _scan(path: Path) -> tuple[list[WalRecord], int, int]:
         line = raw[offset:newline]
         try:
             record = _parse_record(line, path=path, line_no=line_no)
-        except PersistenceError:
+        except PersistenceError as exc:
             if newline == len(raw) - 1:
-                # Terminated but unparsable final line: also a torn tail
-                # (e.g. the crash landed inside a buffered flush).
+                # Terminated but unparsable final line: treated as a torn
+                # tail (e.g. the crash landed inside a buffered flush) —
+                # but unlike the missing-newline case this record *may*
+                # have been fsynced and acknowledged before rotting, so
+                # say so out loud instead of only bumping a counter.
+                logger.warning(
+                    "%s: discarding newline-terminated but unparsable final "
+                    "WAL record (%s); if this record was ever acknowledged, "
+                    "one vote has been lost to corruption",
+                    path,
+                    exc,
+                )
                 return records, valid_end, 1
             raise
         if records and record.seq <= records[-1].seq:
@@ -201,6 +227,22 @@ class VoteWAL:
     def records(self, *, after_seq: int = 0) -> list[WalRecord]:
         """Durable records with ``seq > after_seq``, in log order."""
         return [r for r in self._records if r.seq > after_seq]
+
+    def ensure_seq_at_least(self, seq: int) -> None:
+        """Advance the sequence counter to at least ``seq``.
+
+        The counter only lives in the log's records, so a rotation that
+        drains the WAL forgets every sequence already handed out; on
+        reopen the owner must bump the counter past the newest
+        snapshot's ``last_applied_seq``, or fresh appends would reuse
+        acknowledged sequence numbers and recovery would silently
+        filter them out as already applied.  Never rewinds.
+        """
+        if seq < 0:
+            raise PersistenceError(f"sequence floor must be ≥ 0, got {seq}")
+        if seq > self._last_seq:
+            self._last_seq = seq
+            self._g_last_seq.set(seq)
 
     def __len__(self) -> int:
         return len(self._records)

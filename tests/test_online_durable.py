@@ -96,6 +96,31 @@ class TestDurableOnlineLoop:
         with pytest.raises(PersistenceError):
             OnlineOptimizer(aug).checkpoint()
 
+    def test_restart_after_draining_checkpoint_keeps_new_votes(self, tmp_path):
+        """Votes submitted after a restart that followed a WAL-draining
+        checkpoint must survive the next crash (seq-reuse regression)."""
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(BATCH_SIZE), store=store
+            )
+            for vote in votes[:BATCH_SIZE]:
+                online.submit(vote)  # flush fires, checkpoint drains the WAL
+            assert store.wal.records() == []
+
+        # Restart, accept one more vote, then "crash" before any flush.
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer.recover(
+                store, policy=CountPolicy(BATCH_SIZE)
+            )
+            online.submit(votes[BATCH_SIZE])
+
+        with DurableStore(tmp_path) as store:
+            recovered = OnlineOptimizer.recover(
+                store, policy=CountPolicy(BATCH_SIZE)
+            )
+            assert list(recovered.pending.votes) == [votes[BATCH_SIZE]]
+
 
 class TestFlushFailureRequeue:
     """A solver exception must not cost the pending batch (the old bug)."""
@@ -139,6 +164,39 @@ class TestFlushFailureRequeue:
         with pytest.raises(SGPSolverError):
             online.flush()
         assert list(online.pending.votes) == votes[:4]
+
+    def test_failed_flush_rolls_back_partial_mutation(
+            self, streaming_setup_small, monkeypatch):
+        """A solver that dies mid-apply must not leave weights behind:
+        the retry has to run against exactly the state recovery would
+        rebuild, or live and recovered graphs diverge."""
+        aug, votes = streaming_setup_small
+        before = kg_weights(aug)
+        edge = next(iter(before))
+
+        def mutate_then_explode(target, *args, **kwargs):
+            target.set_kg_weight(*edge, 0.123456)
+            raise SGPSolverError("injected mid-apply failure")
+
+        monkeypatch.setattr(
+            "repro.optimize.online.solve_multi_vote", mutate_then_explode
+        )
+        online = OnlineOptimizer(aug, policy=CountPolicy(batch_size=100))
+        for vote in votes[:4]:
+            online.submit(vote)
+        with pytest.raises(SGPSolverError):
+            online.flush()
+        assert kg_weights(aug) == before
+
+        # The healthy retry now matches an uninterrupted run bitwise.
+        monkeypatch.undo()
+        online.flush()
+        clean_aug, clean_votes = build_scenario()
+        clean = OnlineOptimizer(clean_aug, policy=CountPolicy(batch_size=100))
+        for vote in clean_votes[:4]:
+            clean.submit(vote)
+        clean.flush()
+        assert kg_weights(aug) == kg_weights(clean_aug)
 
     def test_failed_flush_keeps_wal_seqs_aligned(self, streaming_setup_small,
                                                  tmp_path, monkeypatch):

@@ -1,6 +1,7 @@
 """Unit tests for the durability layer: WAL, snapshots, durable store."""
 
 import json
+import logging
 
 import pytest
 
@@ -94,15 +95,30 @@ class TestVoteWAL:
             assert not path.read_bytes().endswith(b'"query"')
             assert wal.append(make_vote(2)) == 3
 
-    def test_torn_terminated_garbage_tail_is_truncated(self, tmp_path):
+    def test_torn_terminated_garbage_tail_is_truncated(self, tmp_path, caplog):
         path = tmp_path / "votes.wal"
         with VoteWAL(path) as wal:
             wal.append(make_vote(0))
         with open(path, "ab") as handle:
             handle.write(b"not json at all\n")
-        with VoteWAL(path) as wal:
-            assert wal.last_seq == 1
-            assert len(wal) == 1
+        with caplog.at_level(logging.WARNING, logger="repro.persistence.wal"):
+            with VoteWAL(path) as wal:
+                assert wal.last_seq == 1
+                assert len(wal) == 1
+        # A terminated record may have been fsynced and acknowledged
+        # before rotting, so discarding it is loud, not just a counter.
+        assert "unparsable final" in caplog.text
+
+    def test_ensure_seq_at_least_advances_never_rewinds(self, tmp_path):
+        with VoteWAL(tmp_path / "votes.wal") as wal:
+            wal.append(make_vote(0))
+            wal.ensure_seq_at_least(5)
+            assert wal.last_seq == 5
+            assert wal.append(make_vote(1)) == 6
+            wal.ensure_seq_at_least(2)  # lower floor: no rewind
+            assert wal.append(make_vote(2)) == 7
+            with pytest.raises(PersistenceError, match="≥ 0"):
+                wal.ensure_seq_at_least(-1)
 
     def test_corruption_before_tail_is_fatal(self, tmp_path):
         path = tmp_path / "votes.wal"
@@ -173,6 +189,52 @@ class TestSnapshotStore:
         assert loaded.kg_weight("x", "y") == 0.6
         assert registry.value("snapshot_invalid_total") == 1
 
+    def test_structurally_broken_newest_snapshot_is_skipped(self, tmp_path):
+        """A snapshot whose body raises KeyError (not GraphError) is skipped."""
+        registry = MetricsRegistry()
+        store = SnapshotStore(tmp_path, registry=registry)
+        store.write(tiny_aug(weight=0.6), last_applied_seq=5)
+        # Valid header and meta, but no graph keys: load raises KeyError.
+        (tmp_path / f"snapshot-{9:016d}.json").write_text(json.dumps({
+            "format": "repro-augmented-graph", "version": 1,
+            "meta": {"last_applied_seq": 9},
+        }))
+        loaded, seq = store.latest()
+        assert seq == 5
+        assert loaded.kg_weight("x", "y") == 0.6
+        assert registry.value("snapshot_invalid_total") == 1
+
+    def test_mis_shaped_edges_snapshot_is_skipped(self, tmp_path):
+        """Edge entries that do not unpack to [head, tail, weight]."""
+        store = SnapshotStore(tmp_path)
+        good = store.write(tiny_aug(weight=0.6), last_applied_seq=5)
+        payload = json.loads(good.read_text())
+        payload["edges"] = [["x"]]  # ValueError on unpack
+        (tmp_path / f"snapshot-{9:016d}.json").write_text(json.dumps(payload))
+        loaded, seq = store.latest()
+        assert seq == 5
+
+    def test_boolean_meta_seq_is_invalid(self, tmp_path):
+        """bool is an int subclass; True must not pass as sequence 1."""
+        registry = MetricsRegistry()
+        store = SnapshotStore(tmp_path, registry=registry)
+        store.write(tiny_aug(weight=0.6), last_applied_seq=5)
+        newer = store.write(tiny_aug(weight=0.8), last_applied_seq=7)
+        payload = json.loads(newer.read_text())
+        payload["meta"]["last_applied_seq"] = True
+        newer.write_text(json.dumps(payload))
+        loaded, seq = store.latest()
+        assert seq == 5
+        assert loaded.kg_weight("x", "y") == 0.6
+        assert registry.value("snapshot_invalid_total") == 1
+
+    def test_newest_seq_from_file_names(self, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.newest_seq() == 0
+        store.write(tiny_aug(), last_applied_seq=5)
+        store.write(tiny_aug(), last_applied_seq=9)
+        assert store.newest_seq() == 9
+
     def test_no_snapshot_returns_none(self, tmp_path):
         assert SnapshotStore(tmp_path).latest() is None
 
@@ -216,6 +278,27 @@ class TestDurableStore:
             assert state.aug is None
             assert state.snapshot_seq == 0
             assert len(state.tail) == 1
+
+    def test_seq_counter_survives_draining_checkpoint(self, tmp_path):
+        """Restart after a WAL-draining checkpoint must not reuse sequences.
+
+        The counter lives in the log's records; a checkpoint that
+        rotates the WAL empty leaves nothing to seed it from, so the
+        store must re-seed from the newest snapshot or post-restart
+        votes get sequences <= snapshot_seq and recovery filters them
+        out as already applied (the old high-severity bug).
+        """
+        with DurableStore(tmp_path) as store:
+            for i in range(3):
+                store.log_vote(make_vote(i))
+            store.checkpoint(tiny_aug(), last_applied_seq=3)
+            assert store.wal.records() == []  # the WAL drained fully
+        with DurableStore(tmp_path) as store:
+            assert store.wal.last_seq == 3
+            assert store.log_vote(make_vote(9)) == 4
+            state = store.recover()
+            assert [r.seq for r in state.tail] == [4]
+            assert state.tail[0].vote.query == "q9"
 
     def test_unrotated_wal_is_filtered_by_snapshot_seq(self, tmp_path):
         """A crash between snapshot write and WAL rotation is harmless."""
