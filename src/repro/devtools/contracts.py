@@ -53,6 +53,7 @@ __all__ = [
     "check_posynomial",
     "check_monotone_deviations",
     "check_finite_csr_data",
+    "check_delta_scores",
 ]
 
 #: Default tolerance for mass-conservation comparisons; generous enough
@@ -63,6 +64,14 @@ MASS_TOL = 1e-6
 #: Default tolerance on box-bound membership (solvers clip to the bound,
 #: so only representation error remains).
 BOUND_TOL = 1e-9
+
+#: Default tolerance for delta-revalidated serving scores against a cold
+#: recompute.  The correction DP reassociates the same truncated sum
+#: (Eq. 7-9), so only accumulated float64 rounding (~1e-12 even over
+#: long patch sequences) separates the two; 1e-7 leaves a wide safety
+#: margin while still catching any real formula bug, whose error scales
+#: with the patched weights (~1e-3 and up).
+DELTA_SCORE_TOL = 1e-7
 
 
 class ContractViolation(ReproError, AssertionError):
@@ -265,6 +274,42 @@ def check_monotone_deviations(
             seam,
             f"deviation d[{bad}] = {arr[bad]!r} exceeds the encoder cap "
             f"{max_abs!r} — the shift bookkeeping is broken",
+        )
+
+
+def check_delta_scores(
+    patched: "np.ndarray | Iterable[float]",
+    reference: "np.ndarray | Iterable[float]",
+    *,
+    tol: float = DELTA_SCORE_TOL,
+    seam: str = "engine.delta",
+) -> None:
+    """Verify a delta-revalidated score vector against a cold recompute.
+
+    The delta correction (Eq. 7–9 expanded around the pre-patch matrix)
+    computes the *same* truncated sum as full propagation, merely
+    reassociated — so every entry must satisfy
+    ``|patched − reference| ≤ tol · (1 + |reference|)``.  Anything
+    larger means the correction formula (not float rounding) is wrong.
+    """
+    if not _enabled:
+        return
+    a = np.asarray(patched, dtype=float)
+    b = np.asarray(reference, dtype=float)
+    if a.shape != b.shape:
+        raise _violation(
+            seam,
+            f"revalidated vector shape {a.shape} does not match the cold "
+            f"recompute shape {b.shape}",
+        )
+    bad_mask = np.abs(a - b) > tol * (1.0 + np.abs(b))
+    if np.any(bad_mask):
+        bad = int(np.flatnonzero(bad_mask)[0])
+        raise _violation(
+            seam,
+            f"revalidated score [{bad}] = {a[bad]!r} drifted from the cold "
+            f"recompute {b[bad]!r} (|Δ| = {abs(a[bad] - b[bad])!r}, "
+            f"tol {tol})",
         )
 
 

@@ -76,6 +76,10 @@ COUNTERS: frozenset[str] = frozenset(
         "engine_cache_misses_total",
         "engine_serves_total",
         "engine_batch_serves_total",
+        "engine_delta_revalidations_total",
+        "engine_delta_entries_patched_total",
+        "engine_delta_fallbacks_total",
+        "engine_delta_rekeys_total",
         # QA front end (repro/qa/system.py)
         "qa_asks_total",
         "qa_votes_total",
@@ -118,6 +122,7 @@ HISTOGRAMS: frozenset[str] = frozenset(
     {
         "engine_build_seconds",
         "engine_propagate_seconds",
+        "engine_delta_seconds",
         "qa_ask_seconds",
         "sgp_solve_seconds",
         "optimize_run_seconds",
@@ -141,6 +146,7 @@ SPANS: frozenset[str] = frozenset(
         # serving engine
         "engine.rebuild",
         "engine.propagate",
+        "engine.delta",
         # SGP solvers
         "sgp.solve",
         "sgp.condensation",

@@ -396,6 +396,12 @@ class QASystem:
                 changed_edges=report.num_changed_edges,
                 elapsed=round(report.elapsed, 6),
             )
+            if self._engine is not None:
+                # Fold the solve's weight patches into one
+                # delta-revalidation pass now, off the serve path — the
+                # first post-optimize ask hits a warm cache instead of
+                # repropagating.
+                self._engine.revalidate()
         if clear_votes:
             self._votes = VoteSet()
         return report

@@ -11,13 +11,22 @@ This subpackage treats it as a long-lived serving asset instead:
   versioned cached sparse adjacency matrix maintained incrementally
   from graph mutation events (in-place weight patches, CSR row appends
   for new documents, zero-cost query attach/detach), a bounded LRU of
-  per-query score vectors, batched serving, and observability counters.
+  per-query score vectors, batched serving, and observability counters;
+- :mod:`repro.serving.delta` — :class:`DeltaCorrector`, the exact
+  delta-propagation correction that keeps the engine's cached score
+  vectors warm across sparse optimizer weight patches instead of
+  cold-invalidating the LRU.
 """
 
 from repro.serving.params import (
     DEFAULT_K,
     SimilarityParams,
     resolve_similarity_params,
+)
+from repro.serving.delta import (
+    DEFAULT_DELTA_DENSITY_THRESHOLD,
+    DeltaCorrector,
+    DeltaFallbackError,
 )
 from repro.serving.engine import (
     DEFAULT_CACHE_SIZE,
@@ -28,8 +37,11 @@ from repro.serving.engine import (
 __all__ = [
     "DEFAULT_K",
     "DEFAULT_CACHE_SIZE",
+    "DEFAULT_DELTA_DENSITY_THRESHOLD",
     "SimilarityParams",
     "resolve_similarity_params",
+    "DeltaCorrector",
+    "DeltaFallbackError",
     "EngineStats",
     "SimilarityEngine",
 ]

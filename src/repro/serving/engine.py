@@ -23,8 +23,16 @@ asset:
   epoch* — a counter bumped only when the matrix contents actually
   change (rebuild, weight patch, row append).  Repeated questions
   against an unchanged matrix are served from the cache even while
-  transient query nodes churn, and the cache is implicitly invalidated
-  the moment the optimizer changes a weight;
+  transient query nodes churn;
+- optimizer weight patches do **not** cold-invalidate the LRU: the
+  engine computes the exact correction each cached vector needs via
+  delta propagation (:mod:`repro.serving.delta` — work scales with the
+  changed edges' L-hop neighborhood, not ``|E|``) and re-keys the
+  patched entries to the new epoch, so the serve-vote-optimize-serve
+  loop keeps its caches warm.  When the patch is too dense for
+  localization to pay off, the engine falls back to full propagation
+  with an honest epoch bump (cold invalidation, bitwise identical to
+  the pre-delta behaviour);
 - :meth:`SimilarityEngine.stats` exposes observability counters (cache
   hits/misses, patches, row appends, rebuilds avoided, per-stage
   timings) for serving dashboards and the throughput benchmark.
@@ -45,11 +53,20 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import sparse
 
-from repro.devtools.contracts import check_finite_csr_data
+from repro.devtools.contracts import (
+    check_delta_scores,
+    check_finite_csr_data,
+    contracts_enabled,
+)
 from repro.errors import EvaluationError, NodeNotFoundError
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
 from repro.obs import MetricsRegistry, get_registry, trace_span
+from repro.serving.delta import (
+    DEFAULT_DELTA_DENSITY_THRESHOLD,
+    DeltaCorrector,
+    DeltaFallbackError,
+)
 from repro.serving.params import SimilarityParams, resolve_similarity_params
 
 #: Default bound on the per-query score-vector LRU cache.
@@ -88,6 +105,15 @@ class EngineStats:
     cache_misses: int = 0
     #: Current number of cached score vectors.
     cache_entries: int = 0
+    #: Delta-revalidation passes that kept the cache warm across a
+    #: weight patch, and the cached vectors corrected by them.
+    delta_revalidations: int = 0
+    delta_entries_patched: int = 0
+    #: Patches too dense for delta propagation (cold invalidation).
+    delta_fallbacks: int = 0
+    #: Cached vectors carried verbatim to a new epoch (answer appends
+    #: and zero-delta patches cannot change any cached score).
+    delta_rekeys: int = 0
     #: Single-query / batched serve calls.
     serves: int = 0
     batch_serves: int = 0
@@ -95,6 +121,8 @@ class EngineStats:
     build_time: float = 0.0
     #: Cumulative seconds spent in sparse propagation.
     propagate_time: float = 0.0
+    #: Cumulative seconds spent delta-revalidating the score cache.
+    delta_time: float = 0.0
     timings: dict = field(default_factory=dict)
 
 
@@ -115,6 +143,18 @@ class SimilarityEngine:
         The :class:`~repro.obs.MetricsRegistry` receiving the engine's
         ``engine_*`` metric series (labeled ``engine="<n>"`` per
         instance).  Defaults to the process-wide registry.
+    delta_revalidation:
+        Keep cached score vectors warm across optimizer weight patches
+        by applying exact delta-propagation corrections
+        (:mod:`repro.serving.delta`) instead of cold-invalidating the
+        LRU.  Off, every weight patch discards the whole cache (the
+        pre-delta behaviour).
+    delta_density_threshold:
+        Fallback budget for delta revalidation, as a multiple of the
+        matrix's edge count: when the correction frontier outgrows
+        ``threshold x |E|`` nonzeros, the engine gives up on
+        localization and cold-invalidates instead.  ``0`` forces the
+        fallback on every patch.
 
     Notes
     -----
@@ -133,9 +173,18 @@ class SimilarityEngine:
         params: "SimilarityParams | None" = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
         registry: "MetricsRegistry | None" = None,
+        delta_revalidation: bool = True,
+        delta_density_threshold: float = DEFAULT_DELTA_DENSITY_THRESHOLD,
     ) -> None:
         if cache_size < 0:
             raise ValueError(f"cache_size must be ≥ 0, got {cache_size}")
+        if delta_density_threshold < 0:
+            raise ValueError(
+                f"delta_density_threshold must be ≥ 0, got "
+                f"{delta_density_threshold}"
+            )
+        self._delta_enabled = bool(delta_revalidation)
+        self._delta_density_threshold = float(delta_density_threshold)
         self._aug = aug
         self.params = params if params is not None else SimilarityParams()
         self._cache_size = cache_size
@@ -162,12 +211,23 @@ class SimilarityEngine:
         self._m_cache_misses = counter("engine_cache_misses_total", **label)
         self._m_serves = counter("engine_serves_total", **label)
         self._m_batch_serves = counter("engine_batch_serves_total", **label)
+        self._m_delta_revalidations = counter(
+            "engine_delta_revalidations_total", **label
+        )
+        self._m_delta_entries = counter(
+            "engine_delta_entries_patched_total", **label
+        )
+        self._m_delta_fallbacks = counter(
+            "engine_delta_fallbacks_total", **label
+        )
+        self._m_delta_rekeys = counter("engine_delta_rekeys_total", **label)
         self._g_cache_entries = self.registry.gauge("engine_cache_entries", **label)
         self._g_version = self.registry.gauge("engine_graph_version", **label)
         self._h_build = self.registry.histogram("engine_build_seconds", **label)
         self._h_propagate = self.registry.histogram(
             "engine_propagate_seconds", **label
         )
+        self._h_delta = self.registry.histogram("engine_delta_seconds", **label)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -208,13 +268,19 @@ class SimilarityEngine:
             cache_hits=int(self._m_cache_hits.value),
             cache_misses=int(self._m_cache_misses.value),
             cache_entries=len(self._cache),
+            delta_revalidations=int(self._m_delta_revalidations.value),
+            delta_entries_patched=int(self._m_delta_entries.value),
+            delta_fallbacks=int(self._m_delta_fallbacks.value),
+            delta_rekeys=int(self._m_delta_rekeys.value),
             serves=int(self._m_serves.value),
             batch_serves=int(self._m_batch_serves.value),
             build_time=self._h_build.sum,
             propagate_time=self._h_propagate.sum,
+            delta_time=self._h_delta.sum,
             timings={
                 "build": self._h_build.sum,
                 "propagate": self._h_propagate.sum,
+                "delta": self._h_delta.sum,
             },
         )
 
@@ -249,6 +315,7 @@ class SimilarityEngine:
             self._m_rebuilds_avoided.inc()
             return
         patches: list[tuple[int, float]] = []
+        patch_edges: dict[int, tuple[Node, Node]] = {}
         new_answers: list[Node] = []
         new_answer_set: set[Node] = set()
         rebuild = False
@@ -260,6 +327,7 @@ class SimilarityEngine:
                 position = self._pos.get((head, tail))
                 if position is not None:
                     patches.append((position, weight))
+                    patch_edges[position] = (head, tail)
                 elif tail in new_answer_set or self._is_transient(head) or (
                     self._is_transient(tail)
                 ):
@@ -287,6 +355,7 @@ class SimilarityEngine:
                 position = self._pos.get((head, tail))
                 if position is not None:
                     patches.append((position, weight))
+                    patch_edges[position] = (head, tail)
                 else:
                     rebuild = True
                     break
@@ -302,8 +371,26 @@ class SimilarityEngine:
         if rebuild:
             self._rebuild()
             return
+        # Whether the cached score vectors still describe the matrix at
+        # the (possibly bumped) current epoch.  Delta revalidation keeps
+        # it true across weight patches; a fallback makes it false and
+        # the stale entries are dropped below.
+        cache_valid = True
         if patches:
             data = self._matrix.data
+            positions = np.unique(
+                np.fromiter(
+                    (position for position, _ in patches),
+                    dtype=np.int64,
+                    count=len(patches),
+                )
+            )
+            track_delta = (
+                self._delta_enabled
+                and self._cache_size > 0
+                and bool(self._cache)
+            )
+            old_values = data[positions].copy() if track_delta else None
             for position, weight in patches:
                 data[position] = weight
             # Contract seam: every patched CSR entry is a finite positive
@@ -315,6 +402,13 @@ class SimilarityEngine:
             )
             self._m_weight_patches.inc(len(patches))
             self._epoch += 1
+            if self._cache:
+                if track_delta:
+                    cache_valid = self._delta_revalidate(
+                        positions, old_values, patch_edges
+                    )
+                else:
+                    cache_valid = False
         if new_answers:
             try:
                 self._append_answer_rows(new_answers)
@@ -322,7 +416,179 @@ class SimilarityEngine:
                 self._rebuild()
                 return
             self._epoch += 1
+            if self._cache and cache_valid and self._delta_enabled:
+                # Answer nodes have no out-edges: appending rows cannot
+                # change any cached score, so the vectors carry over to
+                # the new epoch verbatim.
+                self._rekey_cache()
+            elif self._cache and self._delta_enabled is False:
+                cache_valid = False
+        if self._cache and not cache_valid:
+            self._cache.clear()
+            self._g_cache_entries.set(0)
         self._m_rebuilds_avoided.inc()
+
+    def revalidate(self) -> None:
+        """Apply buffered graph mutations now, off the serve path.
+
+        Serving applies mutations lazily at the next :meth:`scores` /
+        :meth:`score_batch` call; optimizer flush paths
+        (:meth:`repro.qa.system.QASystem.optimize`,
+        :class:`repro.optimize.online.OnlineOptimizer`,
+        :func:`repro.optimize.apply.apply_edge_weights`) call this right
+        after a solve instead, so the weight-patch burst is folded into
+        one delta-revalidation pass *before* the post-optimize traffic
+        spike and the first serve after a patch is a plain cache hit.
+        """
+        self._flush()
+
+    def _rekey_cache(self) -> None:
+        """Carry every cached vector verbatim to the current epoch.
+
+        Only sound for matrix changes that provably cannot alter any
+        cached score (answer-row appends, zero-delta patches).
+        """
+        if not self._cache:
+            return
+        self._cache = OrderedDict(
+            (
+                (links, targets, length, restart_prob, self._epoch),
+                vector,
+            )
+            for (links, targets, length, restart_prob, _), vector in (
+                self._cache.items()
+            )
+        )
+        self._m_delta_rekeys.inc(len(self._cache))
+
+    def _cold_vector(
+        self,
+        links: "tuple[tuple[Node, float], ...]",
+        target_idx: np.ndarray,
+        max_length: int,
+        restart_prob: float,
+    ) -> np.ndarray:
+        """Un-instrumented reference DP, for contract checking only."""
+        matrix = self._matrix
+        mass = np.zeros(matrix.shape[0])
+        for entity, weight in links:
+            mass[self._index[entity]] = weight
+        damping = 1.0 - restart_prob
+        factor = restart_prob * damping
+        scores = np.zeros(len(target_idx))
+        scores += factor * mass[target_idx]
+        for _ in range(max_length - 1):
+            mass = matrix @ mass
+            factor *= damping
+            if not mass.any():
+                break
+            scores += factor * mass[target_idx]
+        return scores
+
+    def _delta_revalidate(
+        self,
+        positions: np.ndarray,
+        old_values: np.ndarray,
+        patch_edges: "dict[int, tuple[Node, Node]]",
+    ) -> bool:
+        """Patch every cached score vector in place after a weight patch.
+
+        Returns whether the cache is valid at the (already bumped)
+        current epoch: ``True`` when every entry was corrected via delta
+        propagation and re-keyed, ``False`` when the patch was too dense
+        (or an entry referenced an unknown node) and the caller must
+        drop the cache — the honest cold-invalidation fallback.
+        """
+        deltas = self._matrix.data[positions] - old_values
+        changed = np.flatnonzero(deltas)
+        if changed.size == 0:
+            # The "patch" rewrote identical weights; nothing can differ.
+            self._rekey_cache()
+            return True
+        entries = list(self._cache.items())
+        max_length = max(key[2] for key, _ in entries)
+        started = time.perf_counter()
+        with trace_span(
+            "engine.delta", edges=int(changed.size), entries=len(entries)
+        ) as span:
+            try:
+                index = self._index
+                rows = np.fromiter(
+                    (
+                        index[patch_edges[int(p)][1]]
+                        for p in positions[changed]
+                    ),
+                    dtype=np.int64,
+                    count=changed.size,
+                )
+                cols = np.fromiter(
+                    (
+                        index[patch_edges[int(p)][0]]
+                        for p in positions[changed]
+                    ),
+                    dtype=np.int64,
+                    count=changed.size,
+                )
+                corrector = DeltaCorrector(
+                    self._matrix,
+                    rows,
+                    cols,
+                    deltas[changed],
+                    max_length=max_length,
+                    density_threshold=self._delta_density_threshold,
+                )
+                revalidated: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+                for key, vector in entries:
+                    links, targets, length, restart_prob, _epoch = key
+                    seed_idx = np.fromiter(
+                        (index[entity] for entity, _ in links),
+                        dtype=np.int64,
+                        count=len(links),
+                    )
+                    seed_weights = np.fromiter(
+                        (weight for _, weight in links),
+                        dtype=float,
+                        count=len(links),
+                    )
+                    target_idx = np.fromiter(
+                        (index[target] for target in targets),
+                        dtype=np.int64,
+                        count=len(targets),
+                    )
+                    corrected = vector + corrector.correction(
+                        seed_idx,
+                        seed_weights,
+                        target_idx,
+                        max_length=length,
+                        restart_prob=restart_prob,
+                        targets_key=targets,
+                    )
+                    # Contract seam: the revalidated vector must agree
+                    # with a cold recompute within tolerance.  No-op
+                    # unless REPRO_CONTRACTS is on.
+                    if contracts_enabled():
+                        check_delta_scores(
+                            corrected,
+                            self._cold_vector(
+                                links, target_idx, length, restart_prob
+                            ),
+                            seam="engine.delta",
+                        )
+                    corrected.setflags(write=False)
+                    revalidated[
+                        (links, targets, length, restart_prob, self._epoch)
+                    ] = corrected
+            except (DeltaFallbackError, KeyError) as exc:
+                self._m_delta_fallbacks.inc()
+                span.set_attrs(fallback=str(exc) or type(exc).__name__)
+                self._h_delta.observe(time.perf_counter() - started)
+                return False
+            self._cache = revalidated
+            span.set_attrs(frontier_nnz=corrector.frontier_nnz)
+        self._m_delta_revalidations.inc()
+        self._m_delta_entries.inc(len(entries))
+        self._h_delta.observe(time.perf_counter() - started)
+        return True
 
     def _rebuild(self) -> None:
         """Rebuild the base matrix from the live graph (the safe path).
@@ -444,9 +710,12 @@ class SimilarityEngine:
     ) -> tuple:
         # Keyed on the matrix epoch, not the graph version: transient
         # query attach/detach bumps the version but cannot change any
-        # served score, so cached vectors stay valid across it.
+        # served score, so cached vectors stay valid across it.  The
+        # out-links are canonicalized (sorted by node repr): two queries
+        # with identical links in different insertion order are the same
+        # propagation and must share one cache entry.
         return (
-            tuple(links.items()),
+            tuple(sorted(links.items(), key=lambda item: repr(item[0]))),
             tuple(targets),
             params.max_length,
             params.restart_prob,
@@ -467,6 +736,10 @@ class SimilarityEngine:
     def _cache_put(self, key: tuple, scores: np.ndarray) -> None:
         if not self._cache_size:
             return
+        # Cached vectors are handed back by reference on every hit (and
+        # patched in place by delta revalidation): freeze them so no
+        # caller can poison every later hit for the key.
+        scores.setflags(write=False)
         self._cache[key] = scores
         self._cache.move_to_end(key)
         while len(self._cache) > self._cache_size:
@@ -560,15 +833,14 @@ class SimilarityEngine:
         key = self._cache_key(links, target_list, params)
         cached = self._cache_get(key)
         if cached is not None:
-            return dict(cached)
+            return {t: float(s) for t, s in zip(target_list, cached)}
         missing = [e for e in links if e not in self._index]
         if missing:
             raise NodeNotFoundError(missing[0])
         target_idx = self._target_indices(target_list)
         vector = self._propagate_one(links, target_idx, params)
-        result = {t: float(s) for t, s in zip(target_list, vector)}
-        self._cache_put(key, result)
-        return dict(result)
+        self._cache_put(key, vector)
+        return {t: float(s) for t, s in zip(target_list, vector)}
 
     def scores_for_query(
         self,
@@ -608,7 +880,9 @@ class SimilarityEngine:
             keys[query] = key
             cached = self._cache_get(key)
             if cached is not None:
-                results[query] = dict(cached)
+                results[query] = {
+                    t: float(s) for t, s in zip(target_list, cached)
+                }
             else:
                 pending.append(query)
         if pending:
@@ -623,12 +897,11 @@ class SimilarityEngine:
                 [links_by_query[q] for q in pending], target_idx, params
             )
             for column, query in enumerate(pending):
-                result = {
-                    t: float(block[row, column])
-                    for row, t in enumerate(target_list)
+                vector = block[:, column].copy()
+                self._cache_put(keys[query], vector)
+                results[query] = {
+                    t: float(s) for t, s in zip(target_list, vector)
                 }
-                self._cache_put(keys[query], result)
-                results[query] = dict(result)
         return {q: results[q] for q in query_list}
 
     def top_k(

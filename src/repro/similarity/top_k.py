@@ -60,9 +60,18 @@ def rank_answers(
     )
     if not aug.is_query(query):
         raise EvaluationError(f"{query!r} is not a query node of the augmented graph")
-    candidates = list(answers) if answers is not None else sorted(
-        aug.answer_nodes, key=repr
-    )
+    if answers is not None:
+        candidates = list(answers)
+        # Entities and queries score plausibly under inverse P-distance
+        # and would silently pollute the top-k, so reject them here.
+        for candidate in candidates:
+            if not aug.is_answer(candidate):
+                raise EvaluationError(
+                    f"candidate {candidate!r} is not an answer node of the "
+                    f"augmented graph"
+                )
+    else:
+        candidates = sorted(aug.answer_nodes, key=repr)
     if not candidates:
         raise EvaluationError("no candidate answers to rank")
     if engine is not None:

@@ -33,11 +33,18 @@ from repro.sgp.terms import Signomial
 
 @pytest.fixture(autouse=True)
 def _contracts_on():
-    """Arm contracts for every test here, restoring the prior state."""
+    """Arm contracts for every test here, restoring the prior state.
+
+    Restores in *both* directions: tests here flip the switch mid-test
+    (e.g. ``test_disabled_checks_are_noops``), and leaving it off would
+    silently disarm every contract seam for the rest of the suite.
+    """
     was_enabled = contracts_enabled()
     enable_contracts()
     yield
-    if not was_enabled:
+    if was_enabled:
+        enable_contracts()
+    else:
         disable_contracts()
 
 

@@ -125,8 +125,12 @@ class TestEngineBitwise:
                 assert served[query][target] == cold[query][target]
 
     def test_weight_patch_matches_cold(self):
+        # delta_revalidation=False pins the cold-invalidation path: this
+        # test asserts *bitwise* equality after patches, which only the
+        # full-repropagation path guarantees (the delta path is
+        # tolerance-equal and covered in test_serving_delta.py).
         aug, _ = build_aug()
-        engine = SimilarityEngine(aug, params=PARAMS)
+        engine = SimilarityEngine(aug, params=PARAMS, delta_revalidation=False)
         assert_engine_matches_cold(engine, aug)
         edges = sorted(
             ((e.head, e.tail) for e in aug.kg_edges()), key=repr
@@ -182,8 +186,11 @@ class TestEngineBitwise:
         )
     )
     def test_interleaved_mutations_stay_bitwise(self, ops):
+        # Bitwise property of the cold-invalidation path; the delta
+        # path's tolerance-equality property lives in
+        # test_serving_delta.py.
         aug, entities = build_aug(seed=11)
-        engine = SimilarityEngine(aug, params=PARAMS)
+        engine = SimilarityEngine(aug, params=PARAMS, delta_revalidation=False)
         kg_edges = sorted(
             ((e.head, e.tail) for e in aug.kg_edges()), key=repr
         )
@@ -229,8 +236,10 @@ class TestEngineBitwise:
 
 class TestEngineBehaviour:
     def test_cache_hits_and_version_invalidation(self):
+        # With delta revalidation off, a weight patch cold-invalidates
+        # the cache (the historical contract this test pins down).
         aug, _ = build_aug()
-        engine = SimilarityEngine(aug, params=PARAMS)
+        engine = SimilarityEngine(aug, params=PARAMS, delta_revalidation=False)
         engine.scores_for_query("q0")
         before = engine.stats()
         engine.scores_for_query("q0")
@@ -267,7 +276,7 @@ class TestEngineBehaviour:
         assert stats.builds == 1
         assert stats.batch_serves == 1
         assert stats.graph_version == aug.version
-        assert set(stats.timings) == {"build", "propagate"}
+        assert set(stats.timings) == {"build", "propagate", "delta"}
 
     def test_non_query_raises(self):
         aug, _ = build_aug()

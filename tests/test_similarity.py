@@ -231,6 +231,25 @@ class TestTopK:
         with pytest.raises(ValueError):
             rank_answers(aug, "q", k=0)
 
+    def test_rank_answers_explicit_answer_subset_ok(self):
+        aug = small_augmented()
+        ranked = rank_answers(aug, "q", k=5, answers=["a2"])
+        assert [answer for answer, _ in ranked] == ["a2"]
+
+    def test_rank_answers_rejects_entity_candidate(self):
+        # Regression: entities score plausibly under inverse P-distance,
+        # so an entity smuggled in via answers= used to pollute the
+        # top-k silently.
+        aug = small_augmented()
+        entity = sorted(aug.entity_nodes)[0]
+        with pytest.raises(EvaluationError, match=repr(entity)):
+            rank_answers(aug, "q", k=5, answers=["a1", entity])
+
+    def test_rank_answers_rejects_query_candidate(self):
+        aug = small_augmented()
+        with pytest.raises(EvaluationError, match="'q'"):
+            rank_answers(aug, "q", k=5, answers=["q", "a1"])
+
     def test_rank_position(self):
         ranked = [("a", 0.9), ("b", 0.5), ("c", 0.1)]
         assert rank_position(ranked, "a") == 1
