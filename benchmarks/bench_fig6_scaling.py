@@ -12,7 +12,26 @@ Paper shapes under test: multi-vote time blows up with votes while S-M
 grows slowly (≥6× faster at scale) and distributed S-M is faster still;
 single-vote is fastest but clearly worse on Ω_avg; S-M's Ω_avg stays
 close to the basic multi-vote solution.
+
+``bench_fig6_push_crossover`` extends the scaling axis to *serving*:
+per-query top-k latency of the dense DP vs the sparse local-push
+backend on growing Gnutella stand-ins, locating the edge count where
+push overtakes dense and checking that push's touched-edge counts stay
+sublinear in ``|E|`` (the quantity ``engine_push_edges_touched``
+exports).
+
+Environment knobs (used by the CI smoke job):
+
+- ``BENCH_SMOKE=1`` — two small scales instead of four (the largest
+  full scale exceeds a million edges);
+- ``BENCH_OUTPUT_DIR=DIR`` — write ``BENCH_fig6_push_crossover.json``
+  (per-scale latencies, touched-edge fractions, the crossover point)
+  into ``DIR``.
 """
+
+import json
+import os
+import time
 
 from conftest import report
 
@@ -22,14 +41,26 @@ from repro.eval.datasets import EFFICIENCY_DATASETS
 from repro.eval.harness import vote_omega_avg
 from repro.graph import AugmentedGraph, konect_like
 from repro.optimize import solve_multi_vote, solve_single_votes, solve_split_merge
+from repro.serving import SimilarityEngine, SimilarityParams
 from repro.utils.tables import format_table
 from repro.votes import generate_synthetic_votes
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+OUTPUT_DIR = os.environ.get("BENCH_OUTPUT_DIR")
 
 VOTE_COUNTS = (5, 10, 20)
 GRAPH_SCALE = 0.01
 NUM_ANSWERS = 40
 K = 8
 SEED = 17
+
+#: Gnutella at scale 7 is ~438k nodes / ~1.04M edges — the 1M+-edge
+#: serving target; smoke keeps CI to a few seconds.
+CROSSOVER_SCALES = (0.05, 0.2) if SMOKE else (0.05, 0.5, 2.0, 7.0)
+CROSSOVER_DATASET = "gnutella"
+CROSSOVER_QUERIES = 8 if SMOKE else 12
+CROSSOVER_ANSWERS = 20
+CROSSOVER_PARAMS = SimilarityParams(k=8)
 
 
 def _build_workload(dataset, num_votes, seed=SEED):
@@ -131,3 +162,146 @@ def bench_fig6(benchmark):
         for _rows, shape in results.values()
         for n in VOTE_COUNTS
     )
+
+
+# ----------------------------------------------------------------------
+# push-vs-dense serving crossover
+# ----------------------------------------------------------------------
+def _build_serving_workload(scale):
+    kg = konect_like(CROSSOVER_DATASET, scale=scale, seed=SEED)
+    aug = AugmentedGraph(kg)
+    nodes = sorted(kg.nodes())
+    rng = np.random.default_rng(SEED + 1)
+    for a in range(CROSSOVER_ANSWERS):
+        picks = rng.choice(len(nodes), size=3, replace=False)
+        aug.add_answer(f"ans{a}", {nodes[int(i)]: 1 for i in picks})
+    for q in range(CROSSOVER_QUERIES):
+        picks = rng.choice(len(nodes), size=2, replace=False)
+        aug.add_query(f"qry{q}", {nodes[int(i)]: 1 for i in picks})
+    queries = [f"qry{q}" for q in range(CROSSOVER_QUERIES)]
+    return aug, kg.num_edges, queries
+
+
+def _timed_top_k(aug, queries, params):
+    """Per-query top-k latency + engine stats with an LRU of size 0.
+
+    ``cache_size=0`` forces every call through the kernel, so the
+    measurement is pure propagation cost, not cache-hit cost.
+    """
+    engine = SimilarityEngine(aug, params=params, cache_size=0)
+    try:
+        top_lists = [engine.top_k(queries[0])]  # warm: builds the CSR
+        start = time.perf_counter()
+        for query in queries:
+            top_lists.append(engine.top_k(query))
+        elapsed = time.perf_counter() - start
+        return elapsed / len(queries), engine.stats(), top_lists
+    finally:
+        engine.close()
+
+
+def _measure_crossover_scale(scale):
+    aug, num_edges, queries = _build_serving_workload(scale)
+    dense_latency, _, dense_lists = _timed_top_k(
+        aug, queries, CROSSOVER_PARAMS
+    )
+    push_latency, push_stats, push_lists = _timed_top_k(
+        aug, queries, CROSSOVER_PARAMS.replace(backend="push")
+    )
+    # Default push tolerance (1e-8) must not move a single rank.
+    assert [
+        [doc for doc, _ in ranked] for ranked in dense_lists
+    ] == [[doc for doc, _ in ranked] for ranked in push_lists]
+    touched_mean = push_stats.push_edges_touched / push_stats.push_serves
+    return dict(
+        scale=scale,
+        num_edges=num_edges,
+        dense_latency=dense_latency,
+        push_latency=push_latency,
+        speedup=dense_latency / push_latency,
+        touched_mean=touched_mean,
+        touched_fraction=touched_mean / num_edges,
+    )
+
+
+def bench_fig6_push_crossover(benchmark):
+    measurements = []
+
+    def run_all():
+        for scale in CROSSOVER_SCALES:
+            measurements.append(_measure_crossover_scale(scale))
+        return measurements
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    crossover = next(
+        (m for m in measurements if m["push_latency"] < m["dense_latency"]),
+        None,
+    )
+    rows = [
+        [
+            f"x{m['scale']:g}",
+            f"{m['num_edges']:,}",
+            f"{m['dense_latency'] * 1e3:.2f}ms",
+            f"{m['push_latency'] * 1e3:.2f}ms",
+            f"{m['speedup']:.1f}x",
+            f"{m['touched_mean']:,.0f}",
+            f"{m['touched_fraction']:.2%}",
+        ]
+        for m in measurements
+    ]
+    report(
+        format_table(
+            [
+                "scale",
+                "edges",
+                "dense/query",
+                "push/query",
+                "push speedup",
+                "edges touched",
+                "of |E|",
+            ],
+            rows,
+            title=(
+                f"Fig. 6 (serving): dense vs push top-k per query on "
+                f"{CROSSOVER_DATASET} — crossover at "
+                + (
+                    f"{crossover['num_edges']:,} edges"
+                    if crossover
+                    else "none within the measured scales"
+                )
+            ),
+        )
+    )
+
+    if OUTPUT_DIR:
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        payload = {
+            "benchmark": "fig6_push_crossover",
+            "smoke": SMOKE,
+            "dataset": CROSSOVER_DATASET,
+            "measurements": measurements,
+            "crossover_edges": crossover["num_edges"] if crossover else None,
+        }
+        with open(
+            os.path.join(OUTPUT_DIR, "BENCH_fig6_push_crossover.json"),
+            "w", encoding="utf-8",
+        ) as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    # Sublinearity: the L-hop neighborhood a push touches is bounded by
+    # the degree profile, not |E|, so the touched *fraction* must fall
+    # as the graph grows.
+    fractions = [m["touched_fraction"] for m in measurements]
+    assert all(
+        later < earlier for earlier, later in zip(fractions, fractions[1:])
+    ), fractions
+    if not SMOKE:
+        largest = measurements[-1]
+        # The acceptance target: top-k serving on a 1M+-edge graph with
+        # per-query touched-edge counts far below |E|, and push faster
+        # than dense once the graph dwarfs the query neighborhood.
+        assert largest["num_edges"] >= 1_000_000, largest["num_edges"]
+        assert largest["touched_fraction"] < 0.05, largest
+        assert largest["push_latency"] < largest["dense_latency"], largest

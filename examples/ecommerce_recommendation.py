@@ -20,6 +20,7 @@ import numpy as np
 from repro import solve_multi_vote
 from repro.graph import AugmentedGraph, helpdesk_graph
 from repro.graph.generators import perturb_weights
+from repro.serving import SimilarityParams
 from repro.similarity.top_k import rank_answers
 from repro.votes import Vote, VoteSet
 
@@ -69,9 +70,11 @@ def main() -> None:
         aug_true.add_query(qid, counts)
         aug_deployed.add_query(qid, counts)
 
-        shown = rank_answers(aug_deployed, qid, k=6)
+        shown = rank_answers(aug_deployed, qid, params=SimilarityParams(k=6))
         shown_ids = tuple(answer for answer, _ in shown)
-        truly_best = rank_answers(aug_true, qid, k=1, answers=shown_ids)[0][0]
+        truly_best = rank_answers(
+            aug_true, qid, params=SimilarityParams(k=1), answers=shown_ids
+        )[0][0]
         votes.add(Vote(query=qid, ranked_answers=shown_ids, best_answer=truly_best))
 
     implicit_negative = votes.num_negative
@@ -94,9 +97,11 @@ def main() -> None:
         hits = 0
         for s in range(NUM_SESSIONS):
             qid = f"session_{s}"
-            shown = rank_answers(graph, qid, k=6)
+            shown = rank_answers(graph, qid, params=SimilarityParams(k=6))
             shown_ids = tuple(a for a, _ in shown)
-            best = rank_answers(aug_true, qid, k=1, answers=shown_ids)[0][0]
+            best = rank_answers(
+                aug_true, qid, params=SimilarityParams(k=1), answers=shown_ids
+            )[0][0]
             hits += shown_ids[0] == best
         return hits / NUM_SESSIONS
 

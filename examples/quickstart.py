@@ -9,7 +9,12 @@ the end-to-end workflow of Fig. 1 in the paper.
 Run:  python examples/quickstart.py
 """
 
-from repro import QASystem, build_knowledge_graph, generate_helpdesk_corpus
+from repro import (
+    QASystem,
+    SimilarityParams,
+    build_knowledge_graph,
+    generate_helpdesk_corpus,
+)
 
 
 def main() -> None:
@@ -19,7 +24,7 @@ def main() -> None:
     print(f"knowledge graph: {kg.num_nodes} entities, {kg.num_edges} relations")
 
     # 2. A Q&A system with the documents attached as answer nodes.
-    system = QASystem(kg, corpus.vocabulary, k=8)
+    system = QASystem(kg, corpus.vocabulary, params=SimilarityParams(k=8))
     system.add_documents(corpus.document_texts())
 
     # 3. Ask a question: the system returns a ranked top-k list.

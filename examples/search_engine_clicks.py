@@ -16,6 +16,7 @@ import numpy as np
 from repro import filter_feasible, solve_multi_vote, vote_omega_avg
 from repro.graph import AugmentedGraph, helpdesk_graph
 from repro.graph.generators import perturb_weights
+from repro.serving import SimilarityParams
 from repro.similarity.top_k import rank_answers
 from repro.votes import GroundTruthOracle, Vote, VoteSet
 
@@ -54,7 +55,7 @@ def main() -> None:
         aug_true.add_query(qid, counts)
         aug_deployed.add_query(qid, counts)
 
-        shown = tuple(a for a, _ in rank_answers(aug_deployed, qid, k=6))
+        shown = tuple(a for a, _ in rank_answers(aug_deployed, qid, params=SimilarityParams(k=6)))
         if rng.uniform() < CLICK_NOISE:
             clicked = shown[int(rng.integers(0, len(shown)))]
         else:

@@ -70,11 +70,18 @@ def _cmd_datasets(_args) -> int:
 
 
 def _cmd_demo(args) -> int:
-    from repro import QASystem, build_knowledge_graph, generate_helpdesk_corpus
+    from repro import (
+        QASystem,
+        SimilarityParams,
+        build_knowledge_graph,
+        generate_helpdesk_corpus,
+    )
 
     corpus = generate_helpdesk_corpus(seed=args.seed)
     kg = build_knowledge_graph(corpus.document_texts(), corpus.vocabulary)
-    system = QASystem(kg, corpus.vocabulary, k=args.k)
+    system = QASystem(
+        kg, corpus.vocabulary, params=SimilarityParams(k=args.k)
+    )
     system.add_documents(corpus.document_texts())
     question = corpus.train_pairs[0]
     answers = system.ask(question.text, question_id="cli-demo")
@@ -222,8 +229,10 @@ def _cmd_similarity(args) -> int:
     import numpy as np
 
     from repro.graph import AugmentedGraph, random_digraph
-    from repro.similarity import inverse_pdistance, random_walk_similarity
+    from repro.serving import SimilarityParams
+    from repro.similarity import get_backend
 
+    params = SimilarityParams()
     rows = []
     for num_answers in args.answers:
         kg = random_digraph(args.nodes, 4.0, seed=args.seed, out_mass=0.9)
@@ -237,10 +246,12 @@ def _cmd_similarity(args) -> int:
         aug.add_query("query", {nodes[int(i)]: 1 for i in picks})
         answers = [f"ans{a}" for a in range(num_answers)]
         start = time.perf_counter()
-        random_walk_similarity(aug.graph, "query", answers)
+        get_backend("random_walk").scores(
+            aug.graph, "query", answers, params=params
+        )
         rw = time.perf_counter() - start
         start = time.perf_counter()
-        inverse_pdistance(aug.graph, "query", answers)
+        get_backend("dense").scores(aug.graph, "query", answers, params=params)
         pd = time.perf_counter() - start
         rows.append([num_answers, f"{rw:.3f}s", f"{pd:.3f}s", f"{rw / pd:.0f}x"])
     _LOG.info(

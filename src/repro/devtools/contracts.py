@@ -54,6 +54,7 @@ __all__ = [
     "check_monotone_deviations",
     "check_finite_csr_data",
     "check_delta_scores",
+    "check_push_scores",
 ]
 
 #: Default tolerance for mass-conservation comparisons; generous enough
@@ -72,6 +73,13 @@ BOUND_TOL = 1e-9
 #: margin while still catching any real formula bug, whose error scales
 #: with the patched weights (~1e-3 and up).
 DELTA_SCORE_TOL = 1e-7
+
+#: Float-rounding slack granted to push-backend scores *on top of* their
+#: derived drop-error budget.  The push kernel computes the same
+#: truncated sum as the dense DP with a different summation order, so
+#: beyond the deliberate (accounted) dropped mass only reassociation
+#: rounding separates the two.
+PUSH_SCORE_TOL = 1e-9
 
 
 class ContractViolation(ReproError, AssertionError):
@@ -310,6 +318,48 @@ def check_delta_scores(
             f"revalidated score [{bad}] = {a[bad]!r} drifted from the cold "
             f"recompute {b[bad]!r} (|Δ| = {abs(a[bad] - b[bad])!r}, "
             f"tol {tol})",
+        )
+
+
+def check_push_scores(
+    pushed: "np.ndarray | Iterable[float]",
+    reference: "np.ndarray | Iterable[float]",
+    *,
+    budget: float,
+    tol: float = PUSH_SCORE_TOL,
+    seam: str = "engine.push",
+) -> None:
+    """Verify local-push scores against the dense dynamic program.
+
+    The push kernel's drop-error accounting guarantees a per-target
+    absolute bound (its reported ``error_bound``); every entry must
+    satisfy ``|pushed − reference| ≤ budget + tol · (1 + |reference|)``
+    — the derived budget plus float-reassociation slack.  Anything
+    larger means the budget derivation (not rounding) is wrong.
+    """
+    if not _enabled:
+        return
+    if not (math.isfinite(budget) and budget >= 0.0):
+        raise _violation(
+            seam, f"push error budget {budget!r} is not a finite non-negative "
+            f"number"
+        )
+    a = np.asarray(pushed, dtype=float)
+    b = np.asarray(reference, dtype=float)
+    if a.shape != b.shape:
+        raise _violation(
+            seam,
+            f"push vector shape {a.shape} does not match the dense "
+            f"reference shape {b.shape}",
+        )
+    bad_mask = np.abs(a - b) > budget + tol * (1.0 + np.abs(b))
+    if np.any(bad_mask):
+        bad = int(np.flatnonzero(bad_mask)[0])
+        raise _violation(
+            seam,
+            f"push score [{bad}] = {a[bad]!r} drifted from the dense "
+            f"reference {b[bad]!r} (|Δ| = {abs(a[bad] - b[bad])!r}, "
+            f"budget {budget!r}, tol {tol})",
         )
 
 

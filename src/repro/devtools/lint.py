@@ -25,6 +25,12 @@ Rule      What it rejects
           :class:`~repro.utils.timing.Stopwatch` exists — wall-clock
           time is not monotonic and the repo already has the right
           tool (outside ``utils/timing.py``).
+``R006``  Direct calls to the similarity kernels
+          (``inverse_pdistance*`` / ``ppr_*``) outside the
+          ``similarity/`` package — callers must resolve a kernel
+          through :class:`~repro.serving.params.SimilarityParams` and
+          the :mod:`~repro.similarity.backend` registry so the
+          ``backend=`` field actually controls propagation everywhere.
 ========  ==============================================================
 
 Suppression: append ``# noqa: R003`` (or a comma-separated rule list,
@@ -71,6 +77,10 @@ RULES: dict[str, str] = {
         "utils/rng.py"
     ),
     "R005": "no raw time.time() timing where utils.timing.Stopwatch exists",
+    "R006": (
+        "no direct inverse_pdistance*/ppr_* kernel calls outside similarity/; "
+        "resolve kernels via SimilarityParams.backend and the backend registry"
+    ),
 }
 
 #: Files exempt from a rule because they *implement* the guarded API.
@@ -79,6 +89,16 @@ _RULE_EXEMPT_FILES: dict[str, tuple[str, ...]] = {
     "R004": ("utils/rng.py",),
     "R005": ("utils/timing.py",),
 }
+
+#: Directories whose *every* file is exempt from a rule because the
+#: directory implements the guarded layer (trailing slash required).
+_RULE_EXEMPT_DIRS: dict[str, tuple[str, ...]] = {
+    "R006": ("similarity/",),
+}
+
+#: Terminal callable-name prefixes that identify a similarity kernel
+#: for R006 (the backend registry is the only sanctioned caller).
+_KERNEL_PREFIXES = ("inverse_pdistance", "ppr_")
 
 #: Attribute names that identify a CSR buffer for R001.
 _CSR_BUFFERS = frozenset({"data", "indices", "indptr"})
@@ -282,6 +302,20 @@ class _RuleVisitor(ast.NodeVisitor):
                     f"np.random.{func.attr}(...) at module level runs at "
                     f"import time; construct RNGs inside functions",
                 )
+        # R006: direct similarity-kernel calls outside similarity/
+        terminal = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if terminal is not None and terminal.startswith(_KERNEL_PREFIXES):
+            self._emit(
+                "R006",
+                node,
+                f"direct kernel call {terminal}(); resolve it via "
+                f"SimilarityParams.backend and "
+                f"repro.similarity.backend.resolve_backend",
+            )
         # R002: obs names must be in the catalog
         self._check_obs_name(node, func)
         self.generic_visit(node)
@@ -323,6 +357,12 @@ def _active_rules(path: str) -> frozenset[str]:
     active = set(RULES)
     for rule, exempt_suffixes in _RULE_EXEMPT_FILES.items():
         if any(normalized.endswith(suffix) for suffix in exempt_suffixes):
+            active.discard(rule)
+    for rule, exempt_dirs in _RULE_EXEMPT_DIRS.items():
+        if any(
+            normalized.startswith(directory) or f"/{directory}" in normalized
+            for directory in exempt_dirs
+        ):
             active.discard(rule)
     return frozenset(active)
 

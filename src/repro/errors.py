@@ -64,6 +64,18 @@ class ConvergenceError(SimilarityError):
     """Raised when an iterative similarity computation fails to converge."""
 
 
+class UnknownBackendError(SimilarityError, KeyError):
+    """Raised when a propagation-backend name is not in the registry.
+
+    Subclasses :class:`KeyError` as well, since the registry is a
+    name-keyed lookup; the custom ``__str__`` keeps the message readable
+    (``KeyError`` would ``repr`` it).
+    """
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
+
+
 class SGPError(ReproError):
     """Base class for signomial-geometric-programming errors."""
 

@@ -17,10 +17,7 @@ from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
 from repro.obs import trace_span
 from repro.serving.params import SimilarityParams
-from repro.similarity.inverse_pdistance import (
-    inverse_pdistance,
-    inverse_pdistance_batch,
-)
+from repro.similarity.backend import resolve_backend
 from repro.similarity.top_k import rank_position, scores_to_ranked_list
 from repro.votes.types import Vote, VoteSet
 
@@ -64,11 +61,8 @@ def rerank_vote(
             vote.query, vote.ranked_answers, params=params
         )
     else:
-        scores = inverse_pdistance(
-            aug.graph,
-            vote.query,
-            vote.ranked_answers,
-            params=params,
+        scores = resolve_backend(params).scores(
+            aug.graph, vote.query, vote.ranked_answers, params=params
         )
     ranked = scores_to_ranked_list(scores)
     return rank_position(ranked, vote.best_answer)
@@ -178,11 +172,8 @@ def evaluate_test_set(
                 list(test_pairs), pool, params=params
             )
         else:
-            all_scores = inverse_pdistance_batch(
-                aug.graph,
-                list(test_pairs),
-                pool,
-                params=params,
+            all_scores = resolve_backend(params).scores_batch(
+                aug.graph, list(test_pairs), pool, params=params
             )
         ranks: list[int] = []
         ranked_lists: list[list[Node]] = []

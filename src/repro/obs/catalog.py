@@ -80,6 +80,9 @@ COUNTERS: frozenset[str] = frozenset(
         "engine_delta_entries_patched_total",
         "engine_delta_fallbacks_total",
         "engine_delta_rekeys_total",
+        "engine_push_serves_total",
+        "engine_push_repushes_total",
+        "engine_push_rekeys_total",
         # QA front end (repro/qa/system.py)
         "qa_asks_total",
         "qa_votes_total",
@@ -123,6 +126,7 @@ HISTOGRAMS: frozenset[str] = frozenset(
         "engine_build_seconds",
         "engine_propagate_seconds",
         "engine_delta_seconds",
+        "engine_push_edges_touched",
         "qa_ask_seconds",
         "sgp_solve_seconds",
         "optimize_run_seconds",
@@ -146,6 +150,7 @@ SPANS: frozenset[str] = frozenset(
         # serving engine
         "engine.rebuild",
         "engine.propagate",
+        "engine.push",
         "engine.delta",
         # SGP solvers
         "sgp.solve",
@@ -171,7 +176,14 @@ SPANS: frozenset[str] = frozenset(
 )
 
 #: Histograms exempt from the ``_seconds`` suffix rule (unitless data).
-_UNITLESS_HISTOGRAMS: frozenset[str] = frozenset({"optimize_deviation_magnitude"})
+_UNITLESS_HISTOGRAMS: frozenset[str] = frozenset(
+    {
+        "optimize_deviation_magnitude",
+        # per-query edge traversals of the push backend (a count, not a
+        # latency — the series the sublinearity claim is asserted on)
+        "engine_push_edges_touched",
+    }
+)
 
 
 def is_registered_metric(name: str) -> bool:

@@ -13,9 +13,10 @@ Serving is delegated to a :class:`~repro.serving.engine.SimilarityEngine`
 against an unchanged graph cost a cache lookup instead of an ``O(|E|)``
 matrix rebuild, and :meth:`QASystem.ask_many` answers whole batches
 with one stacked propagation.  Similarity parameters travel as one
-:class:`~repro.serving.params.SimilarityParams` object; the historical
-``k``/``max_length``/``restart_prob`` keyword arguments keep working
-behind a deprecation shim.
+:class:`~repro.serving.params.SimilarityParams` object (which also
+selects the propagation backend); the historical
+``k``/``max_length``/``restart_prob`` keyword arguments are removed and
+raise ``TypeError`` with a migration hint.
 """
 
 from __future__ import annotations
@@ -62,7 +63,8 @@ class QASystem:
     engine_cache_size:
         Bound on the engine's per-query score LRU.
     k, max_length, restart_prob:
-        Deprecated; pass ``params`` instead.
+        Removed; passing any of them raises ``TypeError`` with a
+        migration hint (use ``params`` instead).
     """
 
     def __init__(
@@ -353,8 +355,8 @@ class QASystem:
             ``solver_method``, ``num_workers``, ...).  Similarity
             parameters default to this system's ``params``; override
             with ``params=SimilarityParams(...)`` (the bare
-            ``max_length``/``restart_prob`` keywords still work but are
-            deprecated).
+            ``max_length``/``restart_prob`` keywords are removed and
+            raise ``TypeError``).
 
         Returns
         -------

@@ -40,6 +40,19 @@ asset:
 Batched serving (:meth:`score_batch`) stacks the seed vectors of many
 queries into one dense block and shares the ``L`` sparse matrix
 products, mirroring :func:`repro.similarity.inverse_pdistance.inverse_pdistance_batch`.
+
+Propagation itself is pluggable: the engine resolves
+``params.backend`` through the :mod:`repro.similarity.backend`
+registry.  The default ``"dense"`` backend reproduces the historical
+dense DP bitwise; the ``"push"`` backend
+(:mod:`repro.similarity.push`) serves from a sparse residual frontier
+over an engine-maintained out-edge CSR, touching only edges near the
+query.  Push results carry their touched-node set and derived error
+bound, which lets :meth:`_flush` repair push state across optimizer
+weight patches the way delta propagation repairs dense vectors: a
+cached push entry whose touched set avoids every patched edge head is
+provably still within its error budget and is re-keyed verbatim;
+otherwise it is re-pushed locally on the patched matrix.
 """
 
 from __future__ import annotations
@@ -56,6 +69,7 @@ from scipy import sparse
 from repro.devtools.contracts import (
     check_delta_scores,
     check_finite_csr_data,
+    check_push_scores,
     contracts_enabled,
 )
 from repro.errors import EvaluationError, NodeNotFoundError
@@ -68,6 +82,8 @@ from repro.serving.delta import (
     DeltaFallbackError,
 )
 from repro.serving.params import SimilarityParams, resolve_similarity_params
+from repro.similarity.backend import PropagationBackend, resolve_backend
+from repro.similarity.push import PropagationResult, amplification_bound
 
 #: Default bound on the per-query score-vector LRU cache.
 DEFAULT_CACHE_SIZE = 256
@@ -117,6 +133,15 @@ class EngineStats:
     #: Single-query / batched serve calls.
     serves: int = 0
     batch_serves: int = 0
+    #: Push-backend serves, local re-pushes after weight patches, and
+    #: cached push entries carried to a new epoch without recomputation
+    #: (touched set provably disjoint from the patched edges).
+    push_serves: int = 0
+    push_repushes: int = 0
+    push_rekeys: int = 0
+    #: Total edges traversed by the push backend across serves and
+    #: re-pushes (the series the sublinearity claim is asserted on).
+    push_edges_touched: float = 0.0
     #: Cumulative seconds spent (re)building the matrix.
     build_time: float = 0.0
     #: Cumulative seconds spent in sparse propagation.
@@ -190,6 +215,16 @@ class SimilarityEngine:
         self._cache_size = cache_size
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._matrix: "sparse.csr_matrix | None" = None
+        # Push-backend serving state, derived lazily from the matrix:
+        # the out-edge CSR (the matrix transposed), the position map
+        # from matrix.data into its data array (so weight patches hit
+        # both in place), the amplification bound ρ, and per-cache-entry
+        # push metadata (touched set + error bound) for incremental
+        # re-push decisions.
+        self._push_adj: "sparse.csr_matrix | None" = None
+        self._push_map: "np.ndarray | None" = None
+        self._push_rho = 1.0
+        self._push_meta: dict[tuple, PropagationResult] = {}
         self._epoch = 0  # bumped only when the matrix contents change
         self._index: dict[Node, int] = {}
         self._pos: dict[tuple[Node, Node], int] = {}
@@ -221,6 +256,9 @@ class SimilarityEngine:
             "engine_delta_fallbacks_total", **label
         )
         self._m_delta_rekeys = counter("engine_delta_rekeys_total", **label)
+        self._m_push_serves = counter("engine_push_serves_total", **label)
+        self._m_push_repushes = counter("engine_push_repushes_total", **label)
+        self._m_push_rekeys = counter("engine_push_rekeys_total", **label)
         self._g_cache_entries = self.registry.gauge("engine_cache_entries", **label)
         self._g_version = self.registry.gauge("engine_graph_version", **label)
         self._h_build = self.registry.histogram("engine_build_seconds", **label)
@@ -228,6 +266,9 @@ class SimilarityEngine:
             "engine_propagate_seconds", **label
         )
         self._h_delta = self.registry.histogram("engine_delta_seconds", **label)
+        self._h_push_edges = self.registry.histogram(
+            "engine_push_edges_touched", **label
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -236,6 +277,9 @@ class SimilarityEngine:
         """Detach from the graph's mutation feed and drop caches."""
         self._aug.graph.remove_listener(self._listener)
         self._matrix = None
+        self._push_adj = None
+        self._push_map = None
+        self._push_meta.clear()
         self._cache.clear()
         self._events.clear()
 
@@ -274,6 +318,10 @@ class SimilarityEngine:
             delta_rekeys=int(self._m_delta_rekeys.value),
             serves=int(self._m_serves.value),
             batch_serves=int(self._m_batch_serves.value),
+            push_serves=int(self._m_push_serves.value),
+            push_repushes=int(self._m_push_repushes.value),
+            push_rekeys=int(self._m_push_rekeys.value),
+            push_edges_touched=self._h_push_edges.sum,
             build_time=self._h_build.sum,
             propagate_time=self._h_propagate.sum,
             delta_time=self._h_delta.sum,
@@ -400,6 +448,30 @@ class SimilarityEngine:
                 positions=[position for position, _ in patches],
                 seam="engine.patch",
             )
+            if self._push_adj is not None:
+                # Keep the push out-edge CSR in lock-step with the
+                # matrix (same nonzeros, transposed layout) and grow the
+                # amplification bound ρ if a patched head's out-weight
+                # sum now exceeds it.  ρ is an upper bound, so weight
+                # decreases never lower it — staying high is sound.
+                adj = self._push_adj
+                adj.data[self._push_map[positions]] = data[positions]
+                heads = np.unique(
+                    np.fromiter(
+                        (
+                            self._index[patch_edges[int(p)][0]]
+                            for p in positions
+                        ),
+                        dtype=np.int64,
+                        count=positions.size,
+                    )
+                )
+                for row in heads:
+                    row_sum = float(
+                        adj.data[adj.indptr[row] : adj.indptr[row + 1]].sum()
+                    )
+                    if row_sum > self._push_rho:
+                        self._push_rho = row_sum
             self._m_weight_patches.inc(len(patches))
             self._epoch += 1
             if self._cache:
@@ -425,6 +497,7 @@ class SimilarityEngine:
                 cache_valid = False
         if self._cache and not cache_valid:
             self._cache.clear()
+            self._push_meta.clear()
             self._g_cache_entries.set(0)
         self._m_rebuilds_avoided.inc()
 
@@ -451,14 +524,14 @@ class SimilarityEngine:
         if not self._cache:
             return
         self._cache = OrderedDict(
-            (
-                (links, targets, length, restart_prob, self._epoch),
-                vector,
-            )
-            for (links, targets, length, restart_prob, _), vector in (
-                self._cache.items()
-            )
+            (key[:-1] + (self._epoch,), vector)
+            for key, vector in self._cache.items()
         )
+        if self._push_meta:
+            self._push_meta = {
+                key[:-1] + (self._epoch,): meta
+                for key, meta in self._push_meta.items()
+            }
         self._m_delta_rekeys.inc(len(self._cache))
 
     def _cold_vector(
@@ -491,13 +564,28 @@ class SimilarityEngine:
         old_values: np.ndarray,
         patch_edges: "dict[int, tuple[Node, Node]]",
     ) -> bool:
-        """Patch every cached score vector in place after a weight patch.
+        """Repair every cached score vector after a weight patch.
 
-        Returns whether the cache is valid at the (already bumped)
-        current epoch: ``True`` when every entry was corrected via delta
-        propagation and re-keyed, ``False`` when the patch was too dense
-        (or an entry referenced an unknown node) and the caller must
-        drop the cache — the honest cold-invalidation fallback.
+        The cache is partitioned by the backend that produced each
+        entry (``key[0]``):
+
+        - **dense** entries receive the exact delta-propagation
+          correction and are re-keyed to the new epoch; a
+          :class:`~repro.serving.delta.DeltaFallbackError` (patch too
+          dense) or unknown node drops *only* the dense entries — the
+          honest cold-invalidation fallback, now per-kind;
+        - **push** entries (tracked in ``_push_meta``) are re-keyed
+          verbatim when provably unaffected — no patched edge's head is
+          in the entry's touched set and the amplification bound ρ did
+          not grow, so both the computed mass and the dropped-mass
+          error accounting are unchanged — and re-pushed locally on the
+          patched matrix otherwise;
+        - entries of any other (third-party) backend are dropped:
+          the engine knows no repair rule for them.
+
+        Returns whether the surviving cache is valid at the (already
+        bumped) current epoch; repairs happen in place, so this is
+        always ``True`` and the caller's wholesale drop never fires.
         """
         deltas = self._matrix.data[positions] - old_values
         changed = np.flatnonzero(deltas)
@@ -505,23 +593,99 @@ class SimilarityEngine:
             # The "patch" rewrote identical weights; nothing can differ.
             self._rekey_cache()
             return True
+        index = self._index
         entries = list(self._cache.items())
-        max_length = max(key[2] for key, _ in entries)
-        started = time.perf_counter()
-        with trace_span(
-            "engine.delta", edges=int(changed.size), entries=len(entries)
-        ) as span:
-            try:
-                index = self._index
-                rows = np.fromiter(
-                    (
-                        index[patch_edges[int(p)][1]]
-                        for p in positions[changed]
-                    ),
-                    dtype=np.int64,
-                    count=changed.size,
-                )
-                cols = np.fromiter(
+        dense_keys = [key for key, _ in entries if key[0] == "dense"]
+        push_keys = [key for key, _ in entries if key in self._push_meta]
+        corrected: dict[tuple, np.ndarray] = {}
+        dense_ok = True
+        if dense_keys:
+            max_length = max(key[3] for key in dense_keys)
+            started = time.perf_counter()
+            with trace_span(
+                "engine.delta",
+                edges=int(changed.size),
+                entries=len(dense_keys),
+            ) as span:
+                try:
+                    rows = np.fromiter(
+                        (
+                            index[patch_edges[int(p)][1]]
+                            for p in positions[changed]
+                        ),
+                        dtype=np.int64,
+                        count=changed.size,
+                    )
+                    cols = np.fromiter(
+                        (
+                            index[patch_edges[int(p)][0]]
+                            for p in positions[changed]
+                        ),
+                        dtype=np.int64,
+                        count=changed.size,
+                    )
+                    corrector = DeltaCorrector(
+                        self._matrix,
+                        rows,
+                        cols,
+                        deltas[changed],
+                        max_length=max_length,
+                        density_threshold=self._delta_density_threshold,
+                    )
+                    for key in dense_keys:
+                        _backend, links, targets, length, restart_prob = key[:5]
+                        seed_idx = np.fromiter(
+                            (index[entity] for entity, _ in links),
+                            dtype=np.int64,
+                            count=len(links),
+                        )
+                        seed_weights = np.fromiter(
+                            (weight for _, weight in links),
+                            dtype=float,
+                            count=len(links),
+                        )
+                        target_idx = np.fromiter(
+                            (index[target] for target in targets),
+                            dtype=np.int64,
+                            count=len(targets),
+                        )
+                        vector = self._cache[key] + corrector.correction(
+                            seed_idx,
+                            seed_weights,
+                            target_idx,
+                            max_length=length,
+                            restart_prob=restart_prob,
+                            targets_key=targets,
+                        )
+                        # Contract seam: the revalidated vector must
+                        # agree with a cold recompute within tolerance.
+                        # No-op unless REPRO_CONTRACTS is on.
+                        if contracts_enabled():
+                            check_delta_scores(
+                                vector,
+                                self._cold_vector(
+                                    links, target_idx, length, restart_prob
+                                ),
+                                seam="engine.delta",
+                            )
+                        vector.setflags(write=False)
+                        corrected[key] = vector
+                    span.set_attrs(frontier_nnz=corrector.frontier_nnz)
+                except (DeltaFallbackError, KeyError) as exc:
+                    dense_ok = False
+                    corrected.clear()
+                    self._m_delta_fallbacks.inc()
+                    span.set_attrs(fallback=str(exc) or type(exc).__name__)
+            self._h_delta.observe(time.perf_counter() - started)
+            if dense_ok:
+                self._m_delta_revalidations.inc()
+                self._m_delta_entries.inc(len(dense_keys))
+        repushed: dict[tuple, PropagationResult] = {}
+        dropped: set[tuple] = set()
+        if push_keys:
+            out_matrix, rho = self._ensure_push_state()
+            changed_heads = np.unique(
+                np.fromiter(
                     (
                         index[patch_edges[int(p)][0]]
                         for p in positions[changed]
@@ -529,65 +693,72 @@ class SimilarityEngine:
                     dtype=np.int64,
                     count=changed.size,
                 )
-                corrector = DeltaCorrector(
-                    self._matrix,
-                    rows,
-                    cols,
-                    deltas[changed],
-                    max_length=max_length,
-                    density_threshold=self._delta_density_threshold,
+            )
+            rekeyed = 0
+            for key in push_keys:
+                meta = self._push_meta[key]
+                if (
+                    meta.touched_nodes is not None
+                    and rho <= meta.rho
+                    and not np.isin(
+                        changed_heads, meta.touched_nodes, assume_unique=True
+                    ).any()
+                ):
+                    # The tracked push only ever read out-edges of its
+                    # touched nodes, and the dropped-mass accounting
+                    # only depends on ρ: with both unchanged the cached
+                    # vector is still within its error bound.
+                    rekeyed += 1
+                    continue
+                backend_name, links, targets, length, restart_prob, tol = (
+                    key[:6]
                 )
-                revalidated: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
-                for key, vector in entries:
-                    links, targets, length, restart_prob, _epoch = key
-                    seed_idx = np.fromiter(
-                        (index[entity] for entity, _ in links),
-                        dtype=np.int64,
-                        count=len(links),
-                    )
-                    seed_weights = np.fromiter(
-                        (weight for _, weight in links),
-                        dtype=float,
-                        count=len(links),
-                    )
+                try:
+                    backend = resolve_backend(backend_name)
                     target_idx = np.fromiter(
                         (index[target] for target in targets),
                         dtype=np.int64,
                         count=len(targets),
                     )
-                    corrected = vector + corrector.correction(
-                        seed_idx,
-                        seed_weights,
+                    result = self._push_compute(
+                        dict(links),
                         target_idx,
-                        max_length=length,
-                        restart_prob=restart_prob,
-                        targets_key=targets,
+                        SimilarityParams(
+                            max_length=length,
+                            restart_prob=restart_prob,
+                            backend=backend_name,
+                            push_tolerance=float(tol),
+                        ),
+                        backend,
                     )
-                    # Contract seam: the revalidated vector must agree
-                    # with a cold recompute within tolerance.  No-op
-                    # unless REPRO_CONTRACTS is on.
-                    if contracts_enabled():
-                        check_delta_scores(
-                            corrected,
-                            self._cold_vector(
-                                links, target_idx, length, restart_prob
-                            ),
-                            seam="engine.delta",
-                        )
-                    corrected.setflags(write=False)
-                    revalidated[
-                        (links, targets, length, restart_prob, self._epoch)
-                    ] = corrected
-            except (DeltaFallbackError, KeyError) as exc:
-                self._m_delta_fallbacks.inc()
-                span.set_attrs(fallback=str(exc) or type(exc).__name__)
-                self._h_delta.observe(time.perf_counter() - started)
-                return False
-            self._cache = revalidated
-            span.set_attrs(frontier_nnz=corrector.frontier_nnz)
-        self._m_delta_revalidations.inc()
-        self._m_delta_entries.inc(len(entries))
-        self._h_delta.observe(time.perf_counter() - started)
+                except (KeyError, EvaluationError):
+                    dropped.add(key)
+                    continue
+                self._m_push_repushes.inc()
+                repushed[key] = result
+            if rekeyed:
+                self._m_push_rekeys.inc(rekeyed)
+        # Rebuild the cache in LRU order with new-epoch keys; entries
+        # with no repair rule (dense after a fallback, failed re-pushes,
+        # unknown backends) simply fall out.
+        new_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        new_meta: dict[tuple, PropagationResult] = {}
+        for key, vector in entries:
+            new_key = key[:-1] + (self._epoch,)
+            if key in corrected:
+                new_cache[new_key] = corrected[key]
+            elif key in repushed:
+                result = repushed[key]
+                scores = result.scores
+                scores.setflags(write=False)
+                new_cache[new_key] = scores
+                new_meta[new_key] = result
+            elif key in self._push_meta and key not in dropped:
+                new_cache[new_key] = vector
+                new_meta[new_key] = self._push_meta[key]
+        self._cache = new_cache
+        self._push_meta = new_meta
+        self._g_cache_entries.set(len(new_cache))
         return True
 
     def _rebuild(self) -> None:
@@ -636,6 +807,8 @@ class SimilarityEngine:
             )
             self._index = index
             self._pos = positions
+            self._push_adj = None
+            self._push_map = None
             self._epoch += 1
             span.set_attrs(nodes=n, edges=len(data))
         check_finite_csr_data(self._matrix.data, seam="engine.rebuild")
@@ -677,9 +850,51 @@ class SimilarityEngine:
             ),
             shape=(n, n),
         )
+        self._push_adj = None
+        self._push_map = None
         check_finite_csr_data(self._matrix.data, seam="engine.append_rows")
         self._m_rows_appended.inc(len(answers))
         self._h_build.observe(time.perf_counter() - started)
+
+    def _ensure_push_state(self) -> tuple[sparse.csr_matrix, float]:
+        """The push backend's out-edge CSR + amplification bound ρ.
+
+        Built lazily as the exact transpose of the in-edge matrix,
+        together with a position map ``matrix.data[p] ↔
+        push_adj.data[push_map[p]]`` so weight patches update both CSRs
+        in place.  The map falls out of transposing a "tag" matrix that
+        carries each nonzero's original data position as its value.
+        """
+        if self._push_adj is None:
+            matrix = self._matrix
+            nnz = matrix.nnz
+            if nnz:
+                tag = sparse.csr_matrix(
+                    (
+                        np.arange(1, nnz + 1, dtype=np.float64),
+                        matrix.indices,
+                        matrix.indptr,
+                    ),
+                    shape=matrix.shape,
+                )
+                tagged = sparse.csr_matrix(tag.T)
+                source_pos = np.rint(tagged.data).astype(np.int64) - 1
+                self._push_adj = sparse.csr_matrix(
+                    (
+                        matrix.data[source_pos],
+                        tagged.indices.copy(),
+                        tagged.indptr.copy(),
+                    ),
+                    shape=matrix.shape,
+                )
+                push_map = np.empty(nnz, dtype=np.int64)
+                push_map[source_pos] = np.arange(nnz, dtype=np.int64)
+                self._push_map = push_map
+            else:
+                self._push_adj = sparse.csr_matrix(matrix.shape)
+                self._push_map = np.empty(0, dtype=np.int64)
+            self._push_rho = amplification_bound(self._push_adj)
+        return self._push_adj, self._push_rho
 
     # ------------------------------------------------------------------
     # serving
@@ -713,12 +928,17 @@ class SimilarityEngine:
         # served score, so cached vectors stay valid across it.  The
         # out-links are canonicalized (sorted by node repr): two queries
         # with identical links in different insertion order are the same
-        # propagation and must share one cache entry.
+        # propagation and must share one cache entry.  The backend name
+        # leads the key (different kernels may return different
+        # vectors), and the push tolerance is part of it so the same
+        # query at two error budgets never aliases.
         return (
+            params.backend,
             tuple(sorted(links.items(), key=lambda item: repr(item[0]))),
             tuple(targets),
             params.max_length,
             params.restart_prob,
+            params.push_tolerance,
             self._epoch,
         )
 
@@ -743,18 +963,35 @@ class SimilarityEngine:
         self._cache[key] = scores
         self._cache.move_to_end(key)
         while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+            evicted, _ = self._cache.popitem(last=False)
+            self._push_meta.pop(evicted, None)
         self._g_cache_entries.set(len(self._cache))
+
+    def _seed_arrays(
+        self, links: Mapping[Node, float]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """A query's out-link mapping as (entity indices, weights)."""
+        seed_idx = np.fromiter(
+            (self._index[entity] for entity in links),
+            dtype=np.int64,
+            count=len(links),
+        )
+        seed_weights = np.fromiter(
+            links.values(), dtype=np.float64, count=len(links)
+        )
+        return seed_idx, seed_weights
 
     def _propagate_one(
         self,
         links: Mapping[Node, float],
         target_idx: np.ndarray,
         params: SimilarityParams,
+        backend: PropagationBackend,
     ) -> np.ndarray:
-        """The inverse-P-distance DP with the first step pre-seeded.
+        """One matrix-level propagation with the first step pre-seeded.
 
-        Mirrors :func:`repro.similarity.inverse_pdistance.inverse_pdistance`
+        The dense backend mirrors
+        :func:`repro.similarity.inverse_pdistance.inverse_pdistance`
         operation-for-operation from ``t = 1`` on, so the result is
         bitwise equal to a cold recompute on the full graph.
         """
@@ -762,29 +999,19 @@ class SimilarityEngine:
         with trace_span(
             "engine.propagate", batch=1, max_length=params.max_length
         ):
-            matrix = self._matrix
-            mass = np.zeros(matrix.shape[0])
-            for entity, weight in links.items():
-                mass[self._index[entity]] = weight
-            damping = 1.0 - params.restart_prob
-            factor = params.restart_prob
-            factor *= damping
-            scores = np.zeros(len(target_idx))
-            scores += factor * mass[target_idx]
-            for _ in range(params.max_length - 1):
-                mass = matrix @ mass
-                factor *= damping
-                if not mass.any():
-                    break
-                scores += factor * mass[target_idx]
+            seed_idx, seed_weights = self._seed_arrays(links)
+            result = backend.propagate(
+                self._matrix, seed_idx, seed_weights, target_idx, params=params
+            )
         self._h_propagate.observe(time.perf_counter() - started)
-        return scores
+        return result.scores
 
     def _propagate_many(
         self,
         link_columns: Sequence[Mapping[Node, float]],
         target_idx: np.ndarray,
-        params,
+        params: SimilarityParams,
+        backend,
     ) -> np.ndarray:
         """Stacked propagation: one dense block, ``L`` sparse products."""
         started = time.perf_counter()
@@ -793,24 +1020,80 @@ class SimilarityEngine:
             batch=len(link_columns),
             max_length=params.max_length,
         ):
-            matrix = self._matrix
-            mass = np.zeros((matrix.shape[0], len(link_columns)))
-            for column, links in enumerate(link_columns):
-                for entity, weight in links.items():
-                    mass[self._index[entity], column] = weight
-            damping = 1.0 - params.restart_prob
-            factor = params.restart_prob
-            factor *= damping
-            scores = np.zeros((len(target_idx), len(link_columns)))
-            scores += factor * mass[target_idx, :]
-            for _ in range(params.max_length - 1):
-                mass = matrix @ mass
-                factor *= damping
-                if not mass.any():
-                    break
-                scores += factor * mass[target_idx, :]
+            seed_columns = [
+                self._seed_arrays(links) for links in link_columns
+            ]
+            result = backend.propagate_batch(
+                self._matrix, seed_columns, target_idx, params=params
+            )
         self._h_propagate.observe(time.perf_counter() - started)
-        return scores
+        return result.scores
+
+    def _push_compute(
+        self,
+        links: Mapping[Node, float],
+        target_idx: np.ndarray,
+        params: SimilarityParams,
+        backend: PropagationBackend,
+    ) -> PropagationResult:
+        """One local-push evaluation against the maintained out-CSR.
+
+        Observes the touched-edge histogram (the sublinearity series)
+        and, with contracts armed, checks the pushed vector against a
+        cold dense recompute within the result's own error bound.
+        """
+        started = time.perf_counter()
+        with trace_span(
+            "engine.push", batch=1, max_length=params.max_length
+        ) as span:
+            out_matrix, rho = self._ensure_push_state()
+            seed_idx, seed_weights = self._seed_arrays(links)
+            result = backend.propagate(
+                self._matrix,
+                seed_idx,
+                seed_weights,
+                target_idx,
+                params=params,
+                out_matrix=out_matrix,
+                rho=rho,
+            )
+            span.set_attrs(
+                edges_touched=int(result.edges_touched),
+                error_bound=float(result.error_bound),
+            )
+        self._h_propagate.observe(time.perf_counter() - started)
+        self._h_push_edges.observe(float(result.edges_touched))
+        if contracts_enabled():
+            links_key = tuple(links.items())
+            check_push_scores(
+                result.scores,
+                self._cold_vector(
+                    links_key,
+                    target_idx,
+                    params.max_length,
+                    params.restart_prob,
+                ),
+                budget=result.error_bound,
+                seam="engine.push",
+            )
+        return result
+
+    def _serve_push(
+        self,
+        links: Mapping[Node, float],
+        target_idx: np.ndarray,
+        params: SimilarityParams,
+        backend: PropagationBackend,
+        key: tuple,
+    ) -> np.ndarray:
+        """Serve one query via push, caching the vector + its metadata."""
+        result = self._push_compute(links, target_idx, params, backend)
+        self._m_push_serves.inc()
+        vector = result.scores
+        self._cache_put(key, vector)
+        if key in self._cache:
+            self._push_meta[key] = result
+        return vector
 
     def scores(
         self,
@@ -827,6 +1110,7 @@ class SimilarityEngine:
         :class:`~repro.errors.NodeNotFoundError`.
         """
         params = params if params is not None else self.params
+        backend = resolve_backend(params)
         target_list = self._resolve_targets(targets)
         self._m_serves.inc()
         self._flush()
@@ -838,8 +1122,17 @@ class SimilarityEngine:
         if missing:
             raise NodeNotFoundError(missing[0])
         target_idx = self._target_indices(target_list)
-        vector = self._propagate_one(links, target_idx, params)
-        self._cache_put(key, vector)
+        if getattr(backend, "uses_out_matrix", False):
+            vector = self._serve_push(links, target_idx, params, backend, key)
+        elif getattr(backend, "supports_matrix", False):
+            vector = self._propagate_one(links, target_idx, params, backend)
+            self._cache_put(key, vector)
+        else:
+            raise EvaluationError(
+                f"backend {params.backend!r} has no matrix-level kernel; "
+                f"use the graph-level API (repro.similarity.backend."
+                f"get_backend({params.backend!r}).scores(...)) instead"
+            )
         return {t: float(s) for t, s in zip(target_list, vector)}
 
     def scores_for_query(
@@ -865,6 +1158,7 @@ class SimilarityEngine:
         one stacked propagation (``L`` sparse-dense products total).
         """
         params = params if params is not None else self.params
+        backend = resolve_backend(params)
         target_list = self._resolve_targets(targets)
         query_list = list(queries)
         if not query_list:
@@ -893,15 +1187,51 @@ class SimilarityEngine:
                 if missing:
                     raise NodeNotFoundError(missing[0])
             target_idx = self._target_indices(target_list)
-            block = self._propagate_many(
-                [links_by_query[q] for q in pending], target_idx, params
-            )
-            for column, query in enumerate(pending):
-                vector = block[:, column].copy()
-                self._cache_put(keys[query], vector)
-                results[query] = {
-                    t: float(s) for t, s in zip(target_list, vector)
-                }
+            if getattr(backend, "uses_out_matrix", False):
+                # Push localizes per query; there is no shared dense
+                # block to stack, so batch = a loop of local pushes.
+                for query in pending:
+                    vector = self._serve_push(
+                        links_by_query[query],
+                        target_idx,
+                        params,
+                        backend,
+                        keys[query],
+                    )
+                    results[query] = {
+                        t: float(s) for t, s in zip(target_list, vector)
+                    }
+            elif getattr(backend, "supports_matrix", False) and hasattr(
+                backend, "propagate_batch"
+            ):
+                block = self._propagate_many(
+                    [links_by_query[q] for q in pending],
+                    target_idx,
+                    params,
+                    backend,
+                )
+                for column, query in enumerate(pending):
+                    vector = block[:, column].copy()
+                    self._cache_put(keys[query], vector)
+                    results[query] = {
+                        t: float(s) for t, s in zip(target_list, vector)
+                    }
+            elif getattr(backend, "supports_matrix", False):
+                for query in pending:
+                    vector = self._propagate_one(
+                        links_by_query[query], target_idx, params, backend
+                    )
+                    self._cache_put(keys[query], vector)
+                    results[query] = {
+                        t: float(s) for t, s in zip(target_list, vector)
+                    }
+            else:
+                raise EvaluationError(
+                    f"backend {params.backend!r} has no matrix-level "
+                    f"kernel; use the graph-level API (repro.similarity."
+                    f"backend.get_backend({params.backend!r})"
+                    f".scores_batch(...)) instead"
+                )
         return {q: results[q] for q in query_list}
 
     def top_k(

@@ -6,23 +6,32 @@ copy-pasted as three keyword arguments through every layer of the stack
 (``QASystem``, ``rank_answers``, the evaluation harness, and the three
 optimization drivers).  :class:`SimilarityParams` replaces the triple
 with one validated, immutable value object that is threaded through all
-of them; the old keyword arguments keep working behind a deprecation
-shim (:func:`resolve_similarity_params`).
+of them, and since the backend registry it also carries the kernel
+selection (:attr:`SimilarityParams.backend` plus the push backend's
+:attr:`SimilarityParams.push_tolerance`).
+
+The PR-1 era bare keyword arguments went through a one-release
+``DeprecationWarning`` shim and are now hard errors:
+:func:`resolve_similarity_params` raises ``TypeError`` with a migration
+hint when any of them is passed.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 
 from repro.similarity.inverse_pdistance import (
     DEFAULT_MAX_LENGTH,
     DEFAULT_RESTART_PROB,
 )
+from repro.similarity.push import DEFAULT_PUSH_TOLERANCE
 from repro.utils.validation import check_fraction
 
 #: Paper default top-k list length (Section VII-A1).
 DEFAULT_K = 20
+
+#: Default propagation backend (the reference dense dynamic program).
+DEFAULT_BACKEND = "dense"
 
 
 @dataclass(frozen=True)
@@ -37,6 +46,17 @@ class SimilarityParams:
         The walk pruning threshold ``L`` (Section IV-A, default 5).
     restart_prob:
         The restart probability ``c`` (Section III-A, default 0.15).
+    backend:
+        Name of the propagation backend resolved through
+        :func:`repro.similarity.backend.resolve_backend` —
+        ``"dense"`` (default, the reference DP) or ``"push"`` (the
+        sparse local-push evaluator); third-party registrations are
+        selectable by their registered name.  Validated against the
+        registry at resolution time, not here, so params objects can be
+        built before a plugin backend registers itself.
+    push_tolerance:
+        The push backend's per-target absolute error budget ε
+        (``0`` = exact push; ignored by other backends).
 
     The object is frozen and hashable, so it can key caches and travel
     through multiprocessing payloads unchanged.
@@ -45,6 +65,8 @@ class SimilarityParams:
     k: int = DEFAULT_K
     max_length: int = DEFAULT_MAX_LENGTH
     restart_prob: float = DEFAULT_RESTART_PROB
+    backend: str = DEFAULT_BACKEND
+    push_tolerance: float = DEFAULT_PUSH_TOLERANCE
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -54,6 +76,15 @@ class SimilarityParams:
                 f"max_length must be at least 1, got {self.max_length}"
             )
         check_fraction("restart_prob", self.restart_prob)
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ValueError(
+                f"backend must be a non-empty backend name, got "
+                f"{self.backend!r}"
+            )
+        if not self.push_tolerance >= 0.0:  # also rejects NaN
+            raise ValueError(
+                f"push_tolerance must be ≥ 0, got {self.push_tolerance!r}"
+            )
 
     def replace(self, **changes) -> "SimilarityParams":
         """A copy with the given fields replaced (validated again)."""
@@ -67,16 +98,14 @@ def resolve_similarity_params(
     max_length: "int | None" = None,
     restart_prob: "float | None" = None,
     default: "SimilarityParams | None" = None,
-    warn: bool = True,
-    stacklevel: int = 3,
 ) -> SimilarityParams:
-    """Merge new-style ``params`` with legacy keyword arguments.
+    """Resolve the effective :class:`SimilarityParams` for a call.
 
-    Precedence: an explicit ``params`` wins (combining it with legacy
-    keywords raises ``TypeError`` — the call is ambiguous); legacy
-    keywords override ``default`` field-by-field and emit a
-    ``DeprecationWarning``; otherwise ``default`` (or the paper-default
-    :class:`SimilarityParams`) is returned unchanged.
+    Returns ``params`` when given, else ``default`` (or the
+    paper-default :class:`SimilarityParams`).  The legacy bare keyword
+    arguments ``k``/``max_length``/``restart_prob`` — deprecated since
+    the params migration — are now rejected with ``TypeError`` carrying
+    a migration hint.
     """
     legacy = {
         name: value
@@ -87,21 +116,15 @@ def resolve_similarity_params(
         )
         if value is not None
     }
-    if params is not None:
-        if legacy:
-            raise TypeError(
-                "pass either params=SimilarityParams(...) or the legacy "
-                f"keyword arguments {sorted(legacy)}, not both"
-            )
-        return params
-    base = default if default is not None else SimilarityParams()
-    if not legacy:
-        return base
-    if warn:
-        warnings.warn(
-            f"the keyword arguments {sorted(legacy)} are deprecated; pass "
-            "params=SimilarityParams(...) instead",
-            DeprecationWarning,
-            stacklevel=stacklevel,
+    if legacy:
+        migrated = ", ".join(
+            f"{name}={value!r}" for name, value in sorted(legacy.items())
         )
-    return base.replace(**legacy)
+        raise TypeError(
+            f"the legacy keyword arguments {sorted(legacy)} were removed; "
+            f"pass params=SimilarityParams({migrated}) instead "
+            f"(or params=<your params>.replace({migrated}))"
+        )
+    if params is not None:
+        return params
+    return default if default is not None else SimilarityParams()

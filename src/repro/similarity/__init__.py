@@ -10,8 +10,16 @@ Four evaluators, all measuring the paper's query–answer similarity
   dynamic program equivalent to summing Eq. 7 over all ≤ L walks;
 - :mod:`repro.similarity.random_walk` — the per-answer linear-equation
   baseline of [5] used in Table VI, plus a Monte-Carlo simulator;
+- :mod:`repro.similarity.push` — a sparse local-push evaluator of the
+  same truncated sum, touching only edges near the query, with a
+  derived error budget;
 - :mod:`repro.similarity.top_k` — ranked top-k answer lists with
   deterministic tie-breaking.
+
+Kernel selection goes through :mod:`repro.similarity.backend`: the
+:class:`~repro.similarity.backend.PropagationBackend` protocol plus a
+name-keyed registry (``dense`` / ``push`` / ``ppr`` / ``random_walk``),
+resolved from :attr:`repro.serving.params.SimilarityParams.backend`.
 """
 
 from repro.similarity.ppr import ppr_scores, ppr_vector
@@ -25,6 +33,19 @@ from repro.similarity.random_walk import (
     monte_carlo_similarity,
     random_walk_similarity,
 )
+from repro.similarity.push import (
+    DEFAULT_PUSH_TOLERANCE,
+    PropagationResult,
+    push_propagate,
+)
+from repro.similarity.backend import (
+    PropagationBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    unregister_backend,
+)
 from repro.similarity.simrank import simrank, simrank_matrix
 from repro.similarity.top_k import rank_answers, rank_position
 
@@ -37,6 +58,15 @@ __all__ = [
     "similarity_profile",
     "random_walk_similarity",
     "monte_carlo_similarity",
+    "DEFAULT_PUSH_TOLERANCE",
+    "PropagationResult",
+    "push_propagate",
+    "PropagationBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    "resolve_backend",
     "simrank",
     "simrank_matrix",
     "rank_answers",

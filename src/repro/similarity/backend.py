@@ -1,0 +1,532 @@
+"""Pluggable propagation backends behind one protocol + registry.
+
+Every similarity kernel in the repository — the dense truncated
+inverse-P-distance DP, the sparse local-push evaluator, exact PPR, and
+the per-answer random-walk baseline — is reachable through one seam:
+:class:`PropagationBackend`.  Callers select a kernel by *name* via
+:attr:`repro.serving.params.SimilarityParams.backend` and resolve it
+with :func:`resolve_backend`; nothing outside :mod:`repro.similarity`
+calls the kernel functions directly (lint rule R006 enforces this).
+
+Third-party kernels plug in without touching core modules::
+
+    from repro.similarity.backend import register_backend
+
+    class MyKernel:
+        name = "mine"
+        supports_matrix = False
+        def scores(self, graph, source, targets, *, params): ...
+        def scores_batch(self, graph, sources, targets, *, params): ...
+
+    register_backend(MyKernel())
+
+Two capability levels exist:
+
+- **graph-level** (``scores`` / ``scores_batch``): evaluate against a
+  :class:`~repro.graph.digraph.WeightedDiGraph`; every backend has it.
+- **matrix-level** (``supports_matrix = True``, ``propagate`` /
+  ``propagate_batch``): evaluate against the serving engine's
+  incremental CSR with pre-seeded residuals.  Only backends that
+  compute the truncated inverse P-distance semantics may claim it —
+  the engine's cache, delta revalidation, and contracts all assume it.
+  Backends with ``uses_out_matrix = True`` (push) receive the engine's
+  maintained out-edge CSR and amplification bound instead of
+  re-deriving them per call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import NodeNotFoundError, SimilarityError, UnknownBackendError
+from repro.graph.digraph import Node, WeightedDiGraph
+from repro.similarity.inverse_pdistance import (
+    inverse_pdistance,
+    inverse_pdistance_batch,
+)
+from repro.similarity.ppr import ppr_scores
+from repro.similarity.push import (
+    PropagationResult,
+    amplification_bound,
+    out_adjacency,
+    push_propagate,
+)
+from repro.similarity.random_walk import random_walk_similarity
+
+if TYPE_CHECKING:  # params imports this package; annotation-only import
+    from repro.serving.params import SimilarityParams
+
+__all__ = [
+    "PropagationBackend",
+    "PropagationResult",
+    "UnknownBackendError",
+    "DenseBackend",
+    "PushBackend",
+    "PPRBackend",
+    "RandomWalkBackend",
+    "register_backend",
+    "unregister_backend",
+    "get_backend",
+    "available_backends",
+    "resolve_backend",
+]
+
+
+@runtime_checkable
+class PropagationBackend(Protocol):
+    """The kernel seam: graph-level scoring plus optional matrix-level.
+
+    ``name`` keys the registry; ``supports_matrix`` advertises whether
+    :meth:`propagate` works (backends without it raise
+    :class:`~repro.errors.SimilarityError` there, and the serving
+    engine refuses them up front).
+    """
+
+    name: str
+    supports_matrix: bool
+
+    def scores(
+        self,
+        graph: WeightedDiGraph,
+        source: Node,
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, float]:
+        """``{target: score}`` for one source on a live graph."""
+        ...  # pragma: no cover - protocol
+
+    def scores_batch(
+        self,
+        graph: WeightedDiGraph,
+        sources: Iterable[Node],
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, dict[Node, float]]:
+        """``{source: {target: score}}`` for many sources at once."""
+        ...  # pragma: no cover - protocol
+
+    def propagate(
+        self,
+        matrix: sparse.csr_matrix,
+        seed_idx: np.ndarray,
+        seed_weights: np.ndarray,
+        target_idx: np.ndarray,
+        *,
+        params: "SimilarityParams",
+        out_matrix: "sparse.csr_matrix | None" = None,
+        rho: "float | None" = None,
+    ) -> PropagationResult:
+        """Matrix-level evaluation with the first step pre-seeded.
+
+        ``matrix`` is the engine's in-edge CSR (``M[i, j] = w(v_j →
+        v_i)``); the seed is the query's out-link weights at their
+        entity indices.  ``out_matrix``/``rho`` are engine-maintained
+        push state, only meaningful to ``uses_out_matrix`` backends.
+        """
+        ...  # pragma: no cover - protocol
+
+
+def _no_matrix_kernel(name: str) -> SimilarityError:
+    return SimilarityError(
+        f"backend {name!r} has no matrix-level kernel "
+        f"(supports_matrix=False); it cannot serve through the engine"
+    )
+
+
+def _source_out_links(
+    graph: WeightedDiGraph, source: Node, index: dict[Node, int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """The level-0 push residual: one step of mass out of ``source``."""
+    successors = graph.successors(source)
+    seed_idx = np.fromiter(
+        (index[node] for node in successors), dtype=np.int64, count=len(successors)
+    )
+    seed_weights = np.fromiter(
+        successors.values(), dtype=np.float64, count=len(successors)
+    )
+    return seed_idx, seed_weights
+
+
+class DenseBackend:
+    """The reference dense dynamic program (Eq. 7, Section IV-A).
+
+    Matrix-level propagation mirrors the engine's historical loop
+    operation-for-operation, so engine results stay bitwise equal to a
+    cold :func:`~repro.similarity.inverse_pdistance.inverse_pdistance`
+    recompute.
+    """
+
+    name = "dense"
+    supports_matrix = True
+    uses_out_matrix = False
+
+    def scores(
+        self,
+        graph: WeightedDiGraph,
+        source: Node,
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, float]:
+        return inverse_pdistance(graph, source, targets, params=params)
+
+    def scores_batch(
+        self,
+        graph: WeightedDiGraph,
+        sources: Iterable[Node],
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, dict[Node, float]]:
+        return inverse_pdistance_batch(graph, sources, targets, params=params)
+
+    def propagate(
+        self,
+        matrix: sparse.csr_matrix,
+        seed_idx: np.ndarray,
+        seed_weights: np.ndarray,
+        target_idx: np.ndarray,
+        *,
+        params: "SimilarityParams",
+        out_matrix: "sparse.csr_matrix | None" = None,
+        rho: "float | None" = None,
+    ) -> PropagationResult:
+        mass = np.zeros(matrix.shape[0])
+        mass[seed_idx] = seed_weights
+        damping = 1.0 - params.restart_prob
+        factor = params.restart_prob
+        factor *= damping
+        scores = np.zeros(len(target_idx))
+        scores += factor * mass[target_idx]
+        matvecs = 0
+        for _ in range(params.max_length - 1):
+            mass = matrix @ mass
+            matvecs += 1
+            factor *= damping
+            if not mass.any():
+                break
+            scores += factor * mass[target_idx]
+        return PropagationResult(
+            scores=scores, edges_touched=matvecs * matrix.nnz
+        )
+
+    def propagate_batch(
+        self,
+        matrix: sparse.csr_matrix,
+        seed_columns: Sequence[tuple[np.ndarray, np.ndarray]],
+        target_idx: np.ndarray,
+        *,
+        params: "SimilarityParams",
+    ) -> PropagationResult:
+        """Stacked propagation: ``scores[target, column]`` block."""
+        mass = np.zeros((matrix.shape[0], len(seed_columns)))
+        for column, (seed_idx, seed_weights) in enumerate(seed_columns):
+            mass[seed_idx, column] = seed_weights
+        damping = 1.0 - params.restart_prob
+        factor = params.restart_prob
+        factor *= damping
+        scores = np.zeros((len(target_idx), len(seed_columns)))
+        scores += factor * mass[target_idx, :]
+        matvecs = 0
+        for _ in range(params.max_length - 1):
+            mass = matrix @ mass
+            matvecs += 1
+            factor *= damping
+            if not mass.any():
+                break
+            scores += factor * mass[target_idx, :]
+        return PropagationResult(
+            scores=scores, edges_touched=matvecs * matrix.nnz
+        )
+
+
+class PushBackend:
+    """Sparse local-push evaluator (:mod:`repro.similarity.push`).
+
+    Scores agree with :class:`DenseBackend` within the derived error
+    budget ``params.push_tolerance`` (exactly, when it is 0); per-query
+    work scales with the query's ``L``-hop out-neighborhood.
+    """
+
+    name = "push"
+    supports_matrix = True
+    uses_out_matrix = True
+
+    def scores(
+        self,
+        graph: WeightedDiGraph,
+        source: Node,
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, float]:
+        if not graph.has_node(source):
+            raise NodeNotFoundError(source)
+        target_list = list(targets)
+        index = graph.node_index()
+        missing = [t for t in target_list if t not in index]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        out_matrix = out_adjacency(graph.adjacency_matrix())
+        seed_idx, seed_weights = _source_out_links(graph, source, index)
+        target_idx = np.array(
+            [index[t] for t in target_list], dtype=np.int64
+        )
+        result = push_propagate(
+            out_matrix,
+            seed_idx,
+            seed_weights,
+            target_idx,
+            max_length=params.max_length,
+            restart_prob=params.restart_prob,
+            tolerance=params.push_tolerance,
+        )
+        return {
+            t: float(s) for t, s in zip(target_list, result.scores)
+        }
+
+    def scores_batch(
+        self,
+        graph: WeightedDiGraph,
+        sources: Iterable[Node],
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, dict[Node, float]]:
+        source_list = list(sources)
+        target_list = list(targets)
+        index = graph.node_index()
+        missing = [n for n in source_list + target_list if n not in index]
+        if missing:
+            raise NodeNotFoundError(missing[0])
+        if not source_list:
+            return {}
+        out_matrix = out_adjacency(graph.adjacency_matrix())
+        rho = amplification_bound(out_matrix)
+        target_idx = np.array(
+            [index[t] for t in target_list], dtype=np.int64
+        )
+        results: dict[Node, dict[Node, float]] = {}
+        for source in source_list:
+            seed_idx, seed_weights = _source_out_links(graph, source, index)
+            result = push_propagate(
+                out_matrix,
+                seed_idx,
+                seed_weights,
+                target_idx,
+                max_length=params.max_length,
+                restart_prob=params.restart_prob,
+                tolerance=params.push_tolerance,
+                rho=rho,
+            )
+            results[source] = {
+                t: float(s) for t, s in zip(target_list, result.scores)
+            }
+        return results
+
+    def propagate(
+        self,
+        matrix: sparse.csr_matrix,
+        seed_idx: np.ndarray,
+        seed_weights: np.ndarray,
+        target_idx: np.ndarray,
+        *,
+        params: "SimilarityParams",
+        out_matrix: "sparse.csr_matrix | None" = None,
+        rho: "float | None" = None,
+    ) -> PropagationResult:
+        if out_matrix is None:
+            out_matrix = out_adjacency(matrix)
+        return push_propagate(
+            out_matrix,
+            seed_idx,
+            seed_weights,
+            target_idx,
+            max_length=params.max_length,
+            restart_prob=params.restart_prob,
+            tolerance=params.push_tolerance,
+            rho=rho,
+        )
+
+
+class PPRBackend:
+    """Exact Personalized PageRank (:mod:`repro.similarity.ppr`).
+
+    The un-truncated stationary score — ``params.max_length`` is
+    ignored (PPR sums all walk lengths); graph-level only.
+    """
+
+    name = "ppr"
+    supports_matrix = False
+
+    def scores(
+        self,
+        graph: WeightedDiGraph,
+        source: Node,
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, float]:
+        return ppr_scores(
+            graph, source, targets, restart_prob=params.restart_prob
+        )
+
+    def scores_batch(
+        self,
+        graph: WeightedDiGraph,
+        sources: Iterable[Node],
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, dict[Node, float]]:
+        target_list = list(targets)
+        return {
+            source: self.scores(graph, source, target_list, params=params)
+            for source in sources
+        }
+
+    def propagate(
+        self,
+        matrix: sparse.csr_matrix,
+        seed_idx: np.ndarray,
+        seed_weights: np.ndarray,
+        target_idx: np.ndarray,
+        *,
+        params: "SimilarityParams",
+        out_matrix: "sparse.csr_matrix | None" = None,
+        rho: "float | None" = None,
+    ) -> PropagationResult:
+        raise _no_matrix_kernel(self.name)
+
+
+class RandomWalkBackend:
+    """The per-answer linear-equation baseline of [5] (Table VI).
+
+    ``params.max_length`` is ignored (the baseline solves the full
+    stationary system per answer); graph-level only.
+    """
+
+    name = "random_walk"
+    supports_matrix = False
+
+    def scores(
+        self,
+        graph: WeightedDiGraph,
+        source: Node,
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, float]:
+        return random_walk_similarity(
+            graph, source, targets, restart_prob=params.restart_prob
+        )
+
+    def scores_batch(
+        self,
+        graph: WeightedDiGraph,
+        sources: Iterable[Node],
+        targets: Iterable[Node],
+        *,
+        params: "SimilarityParams",
+    ) -> dict[Node, dict[Node, float]]:
+        target_list = list(targets)
+        return {
+            source: self.scores(graph, source, target_list, params=params)
+            for source in sources
+        }
+
+    def propagate(
+        self,
+        matrix: sparse.csr_matrix,
+        seed_idx: np.ndarray,
+        seed_weights: np.ndarray,
+        target_idx: np.ndarray,
+        *,
+        params: "SimilarityParams",
+        out_matrix: "sparse.csr_matrix | None" = None,
+        rho: "float | None" = None,
+    ) -> PropagationResult:
+        raise _no_matrix_kernel(self.name)
+
+
+# ----------------------------------------------------------------------
+# the registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, PropagationBackend] = {}
+
+
+def register_backend(
+    backend: PropagationBackend, *, replace: bool = False
+) -> PropagationBackend:
+    """Register ``backend`` under its ``name``; returns it for chaining.
+
+    Re-registering the *same* object is a no-op; registering a
+    different object under a taken name raises ``ValueError`` unless
+    ``replace=True`` (so a typo cannot silently shadow a kernel).
+    """
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"backend {backend!r} must expose a non-empty string 'name'"
+        )
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not backend and not replace:
+        raise ValueError(
+            f"backend name {name!r} is already registered "
+            f"({existing!r}); pass replace=True to override"
+        )
+    _REGISTRY[name] = backend
+    return backend
+
+
+def unregister_backend(name: str) -> PropagationBackend:
+    """Remove and return the backend registered under ``name``."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown propagation backend {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def get_backend(name: str) -> PropagationBackend:
+    """Look up a backend by name.
+
+    Raises
+    ------
+    UnknownBackendError
+        When no backend is registered under ``name``.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown propagation backend {name!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(
+    selector: "str | SimilarityParams",
+) -> PropagationBackend:
+    """Resolve a backend from a name or a ``SimilarityParams``."""
+    name = selector if isinstance(selector, str) else selector.backend
+    return get_backend(name)
+
+
+register_backend(DenseBackend())
+register_backend(PushBackend())
+register_backend(PPRBackend())
+register_backend(RandomWalkBackend())

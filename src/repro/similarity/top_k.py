@@ -15,7 +15,7 @@ from repro.errors import EvaluationError
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
 from repro.serving.params import SimilarityParams, resolve_similarity_params
-from repro.similarity.inverse_pdistance import inverse_pdistance
+from repro.similarity.backend import resolve_backend
 
 
 def rank_answers(
@@ -46,9 +46,10 @@ def rank_answers(
         Optional :class:`~repro.serving.engine.SimilarityEngine`.  When
         given, scores come from the engine's cached/incremental matrix
         instead of a cold per-call adjacency rebuild; results are
-        bitwise identical.
+        bitwise identical for the dense backend.
     k, max_length, restart_prob:
-        Deprecated; pass ``params`` instead.
+        Removed; passing any of them raises ``TypeError`` with a
+        migration hint (use ``params`` instead).
 
     Notes
     -----
@@ -77,12 +78,8 @@ def rank_answers(
     if engine is not None:
         scores = engine.scores_for_query(query, candidates, params=params)
     else:
-        scores = inverse_pdistance(
-            aug.graph,
-            query,
-            candidates,
-            max_length=params.max_length,
-            restart_prob=params.restart_prob,
+        scores = resolve_backend(params).scores(
+            aug.graph, query, candidates, params=params
         )
     ordered = sorted(scores.items(), key=lambda item: (-item[1], repr(item[0])))
     return ordered[: params.k]

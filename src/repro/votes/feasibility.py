@@ -30,10 +30,11 @@ from __future__ import annotations
 from repro.obs import get_registry, trace_span
 from repro.graph.augmented import AugmentedGraph
 from repro.paths.edgesets import reachable_edge_set
+from repro.serving.params import SimilarityParams
+from repro.similarity.backend import resolve_backend
 from repro.similarity.inverse_pdistance import (
     DEFAULT_MAX_LENGTH,
     DEFAULT_RESTART_PROB,
-    inverse_pdistance,
 )
 from repro.utils.validation import check_fraction
 from repro.votes.types import Vote, VoteSet
@@ -86,12 +87,11 @@ def is_vote_feasible(
         else:
             extreme.remove_edge(head, tail)  # weight 0 == edge absent
 
-    scores = inverse_pdistance(
-        extreme,
-        vote.query,
-        [vote.best_answer, rival],
-        max_length=max_length,
-        restart_prob=restart_prob,
+    params = SimilarityParams(
+        max_length=max_length, restart_prob=restart_prob
+    )
+    scores = resolve_backend(params).scores(
+        extreme, vote.query, [vote.best_answer, rival], params=params
     )
     return scores[vote.best_answer] > scores[rival]
 

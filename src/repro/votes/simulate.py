@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import VoteError
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
+from repro.serving.params import SimilarityParams
 from repro.similarity.inverse_pdistance import (
     DEFAULT_MAX_LENGTH,
     DEFAULT_RESTART_PROB,
@@ -82,11 +83,12 @@ def generate_synthetic_votes(
     query_list = (
         list(queries) if queries is not None else sorted(aug.query_nodes, key=repr)
     )
+    params = SimilarityParams(
+        k=k, max_length=max_length, restart_prob=restart_prob
+    )
     votes = VoteSet()
     for query in query_list:
-        ranked = rank_answers(
-            aug, query, k=k, max_length=max_length, restart_prob=restart_prob
-        )
+        ranked = rank_answers(aug, query, params=params)
         answers = tuple(answer for answer, _ in ranked)
         make_negative = (
             len(answers) >= 2 and rng.uniform() < negative_fraction
@@ -126,10 +128,12 @@ class GroundTruthOracle:
         ranked = rank_answers(
             self._reference,
             query,
-            k=len(candidates),
+            params=SimilarityParams(
+                k=len(candidates),
+                max_length=self._max_length,
+                restart_prob=self._restart_prob,
+            ),
             answers=candidates,
-            max_length=self._max_length,
-            restart_prob=self._restart_prob,
         )
         return ranked[0][0]
 
@@ -168,11 +172,12 @@ def generate_votes_from_oracle(
     query_list = (
         list(queries) if queries is not None else sorted(aug.query_nodes, key=repr)
     )
+    params = SimilarityParams(
+        k=k, max_length=max_length, restart_prob=restart_prob
+    )
     votes = VoteSet()
     for query in query_list:
-        ranked = rank_answers(
-            aug, query, k=k, max_length=max_length, restart_prob=restart_prob
-        )
+        ranked = rank_answers(aug, query, params=params)
         answers = tuple(answer for answer, _ in ranked)
         best = oracle(query, answers)
         if best not in answers:

@@ -164,6 +164,61 @@ class TestR005:
 
 
 # ----------------------------------------------------------------------
+# R006: direct similarity-kernel calls outside similarity/
+# ----------------------------------------------------------------------
+class TestR006:
+    def test_bare_kernel_call_fires(self):
+        assert rules_of("scores = inverse_pdistance(g, q, targets)\n") == [
+            "R006"
+        ]
+
+    def test_attribute_kernel_call_fires(self):
+        assert rules_of(
+            "import repro\n\nv = repro.ppr_vector(g, q)\n"
+        ) == ["R006"]
+
+    def test_batch_variant_fires(self):
+        assert rules_of("inverse_pdistance_batch(g, qs, pool)\n") == ["R006"]
+
+    def test_backend_resolution_clean(self):
+        assert rules_of(
+            """
+            from repro.similarity.backend import resolve_backend
+
+            def f(graph, query, targets, params):
+                return resolve_backend(params).scores(
+                    graph, query, targets, params=params
+                )
+            """
+        ) == []
+
+    def test_import_alone_clean(self):
+        # Importing constants from the kernel module is fine; only
+        # *calls* bypass the backend registry.
+        assert rules_of(
+            "from repro.similarity.inverse_pdistance import DEFAULT_MAX_LENGTH\n"
+        ) == []
+
+    def test_similarity_package_is_exempt(self):
+        assert (
+            rules_of(
+                "inverse_pdistance(g, q, targets)\n",
+                path="src/repro/similarity/backend.py",
+            )
+            == []
+        )
+
+    def test_relative_similarity_path_is_exempt(self):
+        assert (
+            rules_of(
+                "ppr_scores = ppr_vector(g, q)\n",
+                path="similarity/top_k.py",
+            )
+            == []
+        )
+
+
+# ----------------------------------------------------------------------
 # engine mechanics
 # ----------------------------------------------------------------------
 class TestEngine:
@@ -219,7 +274,7 @@ class TestEngine:
         assert [v.rule for v in violations] == ["R004"]
 
     def test_every_rule_has_a_description(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005"}
+        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
         assert all(RULES.values())
 
 

@@ -27,6 +27,7 @@ from repro.optimize import solve_multi_vote, solve_single_votes, solve_split_mer
 from repro.optimize.encoder import encode_votes
 from repro.optimize.online import OnlineOptimizer
 from repro.persistence import DurableStore
+from repro.serving import SimilarityParams
 from repro.sgp import SGPProblem, Signomial, solve_sgp
 from repro.similarity import inverse_pdistance, ppr_vector, rank_answers
 from repro.votes import Vote, VoteSet
@@ -91,7 +92,7 @@ class TestDegenerateGraphs:
         aug.add_query("q", {"z": 1})  # z has no out-edges
         aug.add_answer("a1", {"y": 1})
         aug.add_answer("a2", {"y": 1})
-        ranked = rank_answers(aug, "q", k=2)
+        ranked = rank_answers(aug, "q", params=SimilarityParams(k=2))
         assert all(score == 0.0 for _, score in ranked)
         # Deterministic tie-break keeps the order stable.
         assert [a for a, _ in ranked] == sorted(aug.answer_nodes, key=repr)

@@ -23,6 +23,7 @@ from repro.optimize import (
 )
 from repro.optimize.audit import AuditLog
 from repro.qa import QASystem, build_knowledge_graph, generate_helpdesk_corpus
+from repro.serving import SimilarityParams
 from repro.votes import CountPolicy, GroundTruthOracle, generate_votes_from_oracle
 
 
@@ -43,7 +44,7 @@ class TestFullQALifecycle:
     def test_lifecycle(self, corpus, tmp_path):
         # Build and serve.
         kg = build_knowledge_graph(corpus.document_texts(), corpus.vocabulary)
-        system = QASystem(kg, corpus.vocabulary, k=6)
+        system = QASystem(kg, corpus.vocabulary, params=SimilarityParams(k=6))
         attached = system.add_documents(corpus.document_texts())
         assert attached
 

@@ -19,6 +19,7 @@ from repro.obs import (
     set_registry,
 )
 from repro.qa import QASystem, build_knowledge_graph, generate_helpdesk_corpus
+from repro.serving import SimilarityParams
 
 
 @pytest.fixture(autouse=True)
@@ -41,7 +42,7 @@ def corpus():
 @pytest.fixture
 def system(corpus):
     kg = build_knowledge_graph(corpus.document_texts(), corpus.vocabulary)
-    system = QASystem(kg, corpus.vocabulary, k=8)
+    system = QASystem(kg, corpus.vocabulary, params=SimilarityParams(k=8))
     system.add_documents(corpus.document_texts())
     return system
 
@@ -109,8 +110,8 @@ class TestEngineStatsRegistryEquivalence:
 
     def test_two_engines_do_not_mix_series(self, corpus):
         kg = build_knowledge_graph(corpus.document_texts(), corpus.vocabulary)
-        a = QASystem(kg, corpus.vocabulary, k=4)
-        b = QASystem(kg.copy(), corpus.vocabulary, k=4)
+        a = QASystem(kg, corpus.vocabulary, params=SimilarityParams(k=4))
+        b = QASystem(kg.copy(), corpus.vocabulary, params=SimilarityParams(k=4))
         a.add_documents(corpus.document_texts())
         b.add_documents(corpus.document_texts())
         assert a.engine.engine_label != b.engine.engine_label

@@ -6,6 +6,7 @@ from repro.errors import PersistenceError, SGPSolverError
 from repro.optimize.online import OnlineOptimizer
 from repro.persistence import DurableStore
 from repro.qa import QASystem, build_knowledge_graph, generate_helpdesk_corpus
+from repro.serving import SimilarityParams
 from repro.votes import VoteSet
 from repro.votes.stream import CountPolicy
 from tests.durable_scenario import BATCH_SIZE, build_scenario, kg_weights
@@ -242,7 +243,7 @@ class TestQASystemPersistence:
             seed=11,
         )
         kg = build_knowledge_graph(corpus.document_texts(), corpus.vocabulary)
-        qa = QASystem(kg, corpus.vocabulary, k=5)
+        qa = QASystem(kg, corpus.vocabulary, params=SimilarityParams(k=5))
         qa.add_documents(corpus.document_texts())
         return qa, corpus
 

@@ -25,6 +25,7 @@ from repro.graph import AugmentedGraph, random_digraph
 from repro.optimize import solve_multi_vote
 from repro.optimize.encoder import encode_votes
 from repro.eval.harness import vote_omega_avg
+from repro.serving import SimilarityParams
 from repro.similarity import inverse_pdistance, rank_answers
 from repro.votes import Vote
 
@@ -44,7 +45,7 @@ def random_workload(seed, *, num_answers=4, num_queries=2, n=12):
 
     votes = []
     for q in range(num_queries):
-        ranked = rank_answers(aug, f"qry{q}", k=num_answers)
+        ranked = rank_answers(aug, f"qry{q}", params=SimilarityParams(k=num_answers))
         answers = tuple(a for a, _ in ranked)
         if len(answers) < 2:
             continue

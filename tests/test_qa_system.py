@@ -12,6 +12,7 @@ from repro.qa import (
     ir_rank,
     ir_scores,
 )
+from repro.serving import SimilarityParams
 
 
 @pytest.fixture(scope="module")
@@ -122,7 +123,7 @@ class TestIRBaseline:
 class TestQASystem:
     @pytest.fixture
     def system(self, corpus, kg):
-        qa = QASystem(kg, corpus.vocabulary, k=8)
+        qa = QASystem(kg, corpus.vocabulary, params=SimilarityParams(k=8))
         attached = qa.add_documents(corpus.document_texts())
         assert len(attached) == len(corpus.documents)
         return qa
@@ -220,4 +221,8 @@ class TestQASystem:
 
     def test_bad_k(self, kg, corpus):
         with pytest.raises(ValueError):
-            QASystem(kg, corpus.vocabulary, k=0)
+            QASystem(kg, corpus.vocabulary, params=SimilarityParams(k=0))
+
+    def test_legacy_kwargs_raise(self, kg, corpus):
+        with pytest.raises(TypeError, match="SimilarityParams"):
+            QASystem(kg, corpus.vocabulary, k=8)

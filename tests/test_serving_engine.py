@@ -89,10 +89,11 @@ class TestSimilarityParams:
         with pytest.raises((ValueError, Exception)):
             SimilarityParams(**kwargs)
 
-    def test_resolve_legacy_kwargs_warn(self):
-        with pytest.warns(DeprecationWarning):
-            params = resolve_similarity_params(None, k=7)
-        assert params.k == 7
+    def test_resolve_legacy_kwargs_raise_with_migration_hint(self):
+        with pytest.raises(TypeError, match=r"SimilarityParams\(k=7\)"):
+            resolve_similarity_params(None, k=7)
+        with pytest.raises(TypeError, match="removed"):
+            resolve_similarity_params(None, max_length=4, restart_prob=0.3)
 
     def test_resolve_both_is_error(self):
         with pytest.raises(TypeError):

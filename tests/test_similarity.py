@@ -19,6 +19,7 @@ from hypothesis import strategies as st
 from repro.errors import ConvergenceError, EvaluationError, NodeNotFoundError
 from repro.graph import AugmentedGraph, WeightedDiGraph, random_digraph
 from repro.paths import enumerate_walks, walk_probability
+from repro.serving import SimilarityParams
 from repro.similarity import (
     inverse_pdistance,
     inverse_pdistance_single,
@@ -213,13 +214,13 @@ class TestRandomWalkBaseline:
 class TestTopK:
     def test_rank_answers_sorted_desc(self):
         aug = small_augmented()
-        ranked = rank_answers(aug, "q", k=2)
+        ranked = rank_answers(aug, "q", params=SimilarityParams(k=2))
         assert len(ranked) == 2
         assert ranked[0][1] >= ranked[1][1]
 
     def test_rank_answers_respects_k(self):
         aug = small_augmented()
-        assert len(rank_answers(aug, "q", k=1)) == 1
+        assert len(rank_answers(aug, "q", params=SimilarityParams(k=1))) == 1
 
     def test_rank_answers_non_query_rejected(self):
         aug = small_augmented()
@@ -229,11 +230,16 @@ class TestTopK:
     def test_rank_answers_bad_k(self):
         aug = small_augmented()
         with pytest.raises(ValueError):
-            rank_answers(aug, "q", k=0)
+            rank_answers(aug, "q", params=SimilarityParams(k=0))
+
+    def test_rank_answers_legacy_kwargs_raise(self):
+        aug = small_augmented()
+        with pytest.raises(TypeError, match="SimilarityParams"):
+            rank_answers(aug, "q", k=2)
 
     def test_rank_answers_explicit_answer_subset_ok(self):
         aug = small_augmented()
-        ranked = rank_answers(aug, "q", k=5, answers=["a2"])
+        ranked = rank_answers(aug, "q", params=SimilarityParams(k=5), answers=["a2"])
         assert [answer for answer, _ in ranked] == ["a2"]
 
     def test_rank_answers_rejects_entity_candidate(self):
@@ -243,12 +249,12 @@ class TestTopK:
         aug = small_augmented()
         entity = sorted(aug.entity_nodes)[0]
         with pytest.raises(EvaluationError, match=repr(entity)):
-            rank_answers(aug, "q", k=5, answers=["a1", entity])
+            rank_answers(aug, "q", params=SimilarityParams(k=5), answers=["a1", entity])
 
     def test_rank_answers_rejects_query_candidate(self):
         aug = small_augmented()
         with pytest.raises(EvaluationError, match="'q'"):
-            rank_answers(aug, "q", k=5, answers=["q", "a1"])
+            rank_answers(aug, "q", params=SimilarityParams(k=5), answers=["q", "a1"])
 
     def test_rank_position(self):
         ranked = [("a", 0.9), ("b", 0.5), ("c", 0.1)]
