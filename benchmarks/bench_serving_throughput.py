@@ -179,3 +179,86 @@ def bench_serving_throughput(benchmark):
     )
     assert stats.builds == 1  # the matrix was built exactly once
     assert stats.cache_hits > 0  # repeated questions hit the LRU
+
+
+#: Multiplicative ceiling for the armed-recorder ask loop, plus an
+#: absolute slack floor — 5% of a sub-second loop is single-digit
+#: milliseconds, well inside scheduler noise, so a pure ratio check
+#: would flake.
+MAX_RECORDER_OVERHEAD = 1.05
+RECORDER_SLACK_SECONDS = 0.05
+
+
+def bench_recorder_overhead(benchmark, tmp_path):
+    """Flight-recorder arming must stay within 5% of the disarmed path.
+
+    The recorder's hot-path contract is one global load and a ``None``
+    check when disarmed, and a dict build plus deque append when armed
+    — nothing that should be visible next to a propagation, and barely
+    visible next to a cache hit.  Replays the same ask loop as the
+    throughput bench with the recorder off and on (best of three each,
+    to shed warm-up and scheduler noise) and asserts the armed loop is
+    within ``MAX_RECORDER_OVERHEAD`` (plus absolute slack).
+    """
+    from repro.obs.recorder import arm_recorder, disarm_recorder
+
+    results = {}
+
+    def run_all():
+        _, system, questions = _build_system(use_engine=True)
+        _ask_loop(system, questions)  # warm: build matrix, fill the LRU
+
+        def best_of(n):
+            return min(_ask_loop(system, questions)[0] for _ in range(n))
+
+        disarm_recorder()
+        off = best_of(3)
+        # Thresholds high enough that no slow-op dump fires mid-loop:
+        # the bench measures steady-state recording, not bundle writes.
+        arm_recorder(
+            tmp_path / "flight",
+            slow_thresholds={"qa.ask": 3600.0, "engine.serve": 3600.0},
+        )
+        try:
+            on = best_of(3)
+        finally:
+            disarm_recorder()
+        results.update(off=off, on=on)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    off, on = results["off"], results["on"]
+    overhead = (on / off - 1.0) * 100.0
+    report(
+        format_table(
+            ["recorder", f"{NUM_ASKS} asks", "q/s"],
+            [
+                ["disarmed", f"{off:.3f}s", f"{NUM_ASKS / off:.0f}"],
+                ["armed", f"{on:.3f}s", f"{NUM_ASKS / on:.0f}"],
+            ],
+            title=f"Flight-recorder overhead: {overhead:+.1f}%",
+        )
+    )
+    if OUTPUT_DIR:
+        os.makedirs(OUTPUT_DIR, exist_ok=True)
+        with open(
+            os.path.join(OUTPUT_DIR, "BENCH_recorder_overhead.json"),
+            "w", encoding="utf-8",
+        ) as handle:
+            json.dump(
+                {
+                    "benchmark": "recorder_overhead",
+                    "smoke": SMOKE,
+                    "disarmed_seconds": off,
+                    "armed_seconds": on,
+                    "overhead_pct": overhead,
+                },
+                handle, indent=2, sort_keys=True,
+            )
+            handle.write("\n")
+
+    assert on <= off * MAX_RECORDER_OVERHEAD + RECORDER_SLACK_SECONDS, (
+        f"armed recorder cost {overhead:+.1f}% over disarmed "
+        f"({on:.3f}s vs {off:.3f}s); hot-path recording must stay ≤5%"
+    )

@@ -9,6 +9,7 @@ Installed as the ``repro-kg`` console script::
     repro-kg similarity --answers 40 80    # Table VI in miniature
     repro-kg serve --wal-dir state/        # durable online loop (WAL)
     repro-kg recover --wal-dir state/      # crash recovery + replay report
+    repro-kg diag flight-000-slo_breach/   # post-mortem health report
 
 Every command prints aligned text tables (no plotting dependency) and
 exits non-zero on failure, so the CLI is scriptable in CI.
@@ -400,7 +401,12 @@ def _cmd_recover(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.devtools.lint import RULES, format_violations, lint_paths
+    from repro.devtools.lint import (
+        RULES,
+        find_dead_series,
+        format_violations,
+        lint_paths,
+    )
 
     rules = None
     if args.rules:
@@ -412,6 +418,11 @@ def _cmd_lint(args) -> int:
                 f"available: {', '.join(sorted(RULES))}"
             )
     violations = lint_paths(args.paths, rules=rules)
+    # R007 is a whole-tree property (a catalog entry is dead only if *no*
+    # linted file emits it), so it runs once over all paths rather than
+    # inside the per-file visitor.
+    if rules is None or "R007" in rules:
+        violations.extend(find_dead_series(args.paths))
     if violations:
         _LOG.info(format_violations(violations))
         _LOG.info(
@@ -420,6 +431,23 @@ def _cmd_lint(args) -> int:
         )
         return 1
     _LOG.info(f"{len(args.paths)} path(s) clean")
+    return 0
+
+
+def _cmd_diag(args) -> int:
+    import json
+
+    from repro.obs.diag import load_bundle, render_bundle_report, render_health_report
+
+    if args.bundle is None and args.metrics_json is None:
+        raise ValueError("diag needs a flight bundle directory or --metrics-json")
+    if args.bundle is not None:
+        bundle = load_bundle(args.bundle)
+        _LOG.info(render_bundle_report(bundle))
+        return 0
+    with open(args.metrics_json, encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    _LOG.info(render_health_report(snapshot))
     return 0
 
 
@@ -505,7 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=3)
 
     lint = sub.add_parser(
-        "lint", help="run the project's custom AST lint rules (R001-R005)"
+        "lint", help="run the project's custom AST lint rules (R001-R007)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -514,6 +542,20 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules", nargs="+", metavar="R00X", default=None,
         help="restrict the run to these rule ids (default: all)",
+    )
+
+    diag = sub.add_parser(
+        "diag",
+        help="render a health report from a flight bundle or metrics snapshot",
+    )
+    diag.add_argument(
+        "bundle", nargs="?", default=None, metavar="BUNDLE_DIR",
+        help="flight-recorder bundle directory (contains MANIFEST.json)",
+    )
+    diag.add_argument(
+        "--metrics-json", metavar="PATH", default=None,
+        help="grade a bare metrics snapshot (as written by the "
+             "instrumented commands' --metrics-json) instead of a bundle",
     )
 
     return parser
@@ -528,6 +570,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "recover": _cmd_recover,
     "lint": _cmd_lint,
+    "diag": _cmd_diag,
 }
 
 

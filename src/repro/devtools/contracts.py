@@ -120,6 +120,18 @@ def disable_contracts() -> None:
 
 
 def _violation(seam: str, message: str) -> ContractViolation:
+    # Fire the flight recorder *before* the exception is constructed and
+    # raised by the caller: the diagnostic bundle captures the event ring
+    # as it stood at the moment the invariant broke, even if a handler
+    # upstack swallows the violation.  Late import — contracts must stay
+    # importable from the graph layer without dragging obs in; a broken
+    # recorder never masks the violation itself.
+    from repro.obs.recorder import record_violation
+
+    try:
+        record_violation(seam, message)
+    except Exception:  # pragma: no cover - diagnostics must not mask bugs
+        pass
     return ContractViolation(f"contract violated at {seam}: {message}")
 
 

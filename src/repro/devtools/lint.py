@@ -31,6 +31,11 @@ Rule      What it rejects
           through :class:`~repro.serving.params.SimilarityParams` and
           the :mod:`~repro.similarity.backend` registry so the
           ``backend=`` field actually controls propagation everywhere.
+``R007``  A catalog entry emitted *nowhere* in the linted tree — the
+          inverse of R002: the catalog must not accumulate phantom
+          declarations whose dashboards would flatline forever
+          (a whole-tree check via :func:`find_dead_series`, reported
+          against ``obs/catalog.py``).
 ========  ==============================================================
 
 Suppression: append ``# noqa: R003`` (or a comma-separated rule list,
@@ -58,6 +63,8 @@ __all__ = [
     "lint_source",
     "lint_file",
     "lint_paths",
+    "collect_emitted_names",
+    "find_dead_series",
     "format_violations",
 ]
 
@@ -80,6 +87,10 @@ RULES: dict[str, str] = {
     "R006": (
         "no direct inverse_pdistance*/ppr_* kernel calls outside similarity/; "
         "resolve kernels via SimilarityParams.backend and the backend registry"
+    ),
+    "R007": (
+        "every catalog-declared metric/span must be emitted somewhere in the "
+        "linted tree (dead/phantom catalog entry guard — the inverse of R002)"
     ),
 }
 
@@ -321,34 +332,55 @@ class _RuleVisitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _check_obs_name(self, node: ast.Call, func: ast.AST) -> None:
-        is_span = isinstance(func, ast.Name) and func.id == "trace_span"
-        is_metric = (
-            isinstance(func, ast.Attribute)
-            and func.attr in ("counter", "gauge", "histogram")
-        )
-        if not (is_span or is_metric):
+        emitted = _obs_name_of(node)
+        if emitted is None:
             return
-        if not node.args:
-            return
-        first = node.args[0]
-        if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
-            return
-        name = first.value
-        if is_span and not catalog.is_registered_span(name):
+        kind, name = emitted
+        if kind == "span" and not catalog.is_registered_span(name):
             self._emit(
                 "R002",
                 node,
                 f"span name {name!r} is not declared in repro.obs.catalog "
                 f"(typo, or add it to SPANS)",
             )
-        elif is_metric and not catalog.is_registered_metric(name):
-            kind = func.attr  # type: ignore[union-attr]  # is_metric ⇒ Attribute
+        elif kind != "span" and not catalog.is_registered_metric(name):
             self._emit(
                 "R002",
                 node,
                 f"{kind} name {name!r} is not declared in repro.obs.catalog "
                 f"(typo, or add it to the catalog)",
             )
+
+
+def _obs_name_of(node: ast.Call) -> "tuple[str, str] | None":
+    """``(kind, name)`` when ``node`` emits an obs series, else ``None``.
+
+    Matches the shapes R002 polices — ``trace_span("...")`` and
+    ``<registry>.counter/gauge/histogram("...")`` with a literal first
+    argument, plus the local-alias idiom ``counter = registry.counter;
+    counter("...")`` — so the dead-series sweep (R007) and the
+    phantom-name check (R002) agree on what "emitted" means by
+    construction.
+    """
+    func = node.func
+    if not node.args:
+        return None
+    first = node.args[0]
+    if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+        return None
+    if isinstance(func, ast.Name):
+        if func.id == "trace_span":
+            return "span", first.value
+        if func.id in ("counter", "gauge", "histogram"):
+            return func.id, first.value
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in (
+        "counter",
+        "gauge",
+        "histogram",
+    ):
+        return func.attr, first.value
+    return None
 
 
 def _active_rules(path: str) -> frozenset[str]:
@@ -442,6 +474,92 @@ def lint_paths(
             violations.extend(lint_file(entry_path, rules=rule_set))
         else:
             raise FileNotFoundError(f"lint target does not exist: {entry_path}")
+    return violations
+
+
+def collect_emitted_names(
+    paths: Iterable["str | Path"],
+) -> tuple[set[str], set[str]]:
+    """``(metric names, span names)`` emitted anywhere under ``paths``.
+
+    "Emitted" means the literal-name call shapes R002 polices; a file
+    with a syntax error contributes nothing (the regular lint pass
+    reports it).
+    """
+    metrics: set[str] = set()
+    spans: set[str] = set()
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            files = sorted(entry_path.rglob("*.py"))
+        elif entry_path.is_file():
+            files = [entry_path]
+        else:
+            raise FileNotFoundError(f"lint target does not exist: {entry_path}")
+        for file_path in files:
+            try:
+                tree = ast.parse(
+                    file_path.read_text(encoding="utf-8"), filename=str(file_path)
+                )
+            except SyntaxError:
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Call):
+                    emitted = _obs_name_of(node)
+                    if emitted is None:
+                        continue
+                    kind, name = emitted
+                    (spans if kind == "span" else metrics).add(name)
+    return metrics, spans
+
+
+def find_dead_series(
+    paths: Iterable["str | Path"],
+    *,
+    metrics: "Iterable[str] | None" = None,
+    spans: "Iterable[str] | None" = None,
+) -> list[LintViolation]:
+    """R007: catalog entries emitted nowhere under ``paths``.
+
+    The inverse of R002: R002 stops a call site from inventing a name
+    the catalog never declared; this stops the catalog from accumulating
+    phantom declarations no call site emits (a dashboard reading such a
+    series would flatline forever).  A whole-tree property rather than a
+    per-line one, so violations are attributed to the catalog module
+    itself.  ``metrics``/``spans`` override the declared sets for tests.
+    """
+    declared_metrics = frozenset(catalog.METRICS if metrics is None else metrics)
+    declared_spans = frozenset(catalog.SPANS if spans is None else spans)
+    emitted_metrics, emitted_spans = collect_emitted_names(paths)
+    catalog_path = str(
+        Path(catalog.__file__ or "repro/obs/catalog.py")
+    )
+    violations = [
+        LintViolation(
+            rule="R007",
+            path=catalog_path,
+            line=0,
+            col=0,
+            message=(
+                f"metric {name!r} is declared in the catalog but emitted "
+                f"nowhere in the linted tree (dead series)"
+            ),
+        )
+        for name in sorted(declared_metrics - emitted_metrics)
+    ]
+    violations.extend(
+        LintViolation(
+            rule="R007",
+            path=catalog_path,
+            line=0,
+            col=0,
+            message=(
+                f"span {name!r} is declared in the catalog but emitted "
+                f"nowhere in the linted tree (dead span)"
+            ),
+        )
+        for name in sorted(declared_spans - emitted_spans)
+    )
     return violations
 
 

@@ -10,7 +10,16 @@ package:
   span trees collected into :class:`Trace` objects (JSONL-exportable,
   console-renderable);
 - :mod:`repro.obs.exporters` — JSONL writers, Prometheus text
-  exposition, and :func:`summary_table` for end-of-run CLI breakdowns.
+  exposition, and :func:`summary_table` for end-of-run CLI breakdowns;
+- :mod:`repro.obs.recorder` — the flight recorder: a bounded ring of
+  per-operation events dumped as a self-contained diagnostic bundle
+  when a contract violation, delta fallback, SLO breach, or slow query
+  fires a trigger;
+- :mod:`repro.obs.slo` — latency objectives graded from
+  bucket-interpolated histogram quantiles, with error-budget burn
+  gauges and breach-triggered dumps;
+- :mod:`repro.obs.diag` — the ``repro-kg diag`` health report, rendered
+  from a live snapshot or a dumped bundle alike.
 
 See DESIGN.md § Observability for the span hierarchy and the metric
 naming/label conventions.
@@ -56,6 +65,26 @@ from repro.obs.exporters import (
     write_metrics_json,
     write_traces_jsonl,
 )
+from repro.obs.recorder import (
+    FlightRecorder,
+    RecorderEvent,
+    active_recorder,
+    arm_recorder,
+    disarm_recorder,
+)
+from repro.obs.slo import (
+    LatencyObjective,
+    SLOStatus,
+    SLOWatchdog,
+    default_objectives,
+    evaluate_objective,
+)
+from repro.obs.diag import (
+    DiagBundle,
+    load_bundle,
+    render_bundle_report,
+    render_health_report,
+)
 
 __all__ = [
     "COUNTERS",
@@ -90,4 +119,18 @@ __all__ = [
     "write_metrics_json",
     "metrics_to_prometheus",
     "summary_table",
+    "FlightRecorder",
+    "RecorderEvent",
+    "arm_recorder",
+    "disarm_recorder",
+    "active_recorder",
+    "LatencyObjective",
+    "SLOStatus",
+    "SLOWatchdog",
+    "default_objectives",
+    "evaluate_objective",
+    "DiagBundle",
+    "load_bundle",
+    "render_bundle_report",
+    "render_health_report",
 ]

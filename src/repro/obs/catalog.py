@@ -34,6 +34,8 @@ __all__ = [
     "HISTOGRAMS",
     "METRICS",
     "SPANS",
+    "METRIC_HELP",
+    "metric_help",
     "is_registered_metric",
     "is_registered_span",
     "catalog_errors",
@@ -49,6 +51,8 @@ METRIC_PREFIXES: tuple[str, ...] = (
     "eval_",
     "wal_",
     "snapshot_",
+    "obs_",
+    "slo_",
 )
 
 #: Allowed span-name prefixes (dotted form of the same subsystems).
@@ -61,6 +65,7 @@ SPAN_PREFIXES: tuple[str, ...] = (
     "eval.",
     "wal.",
     "snapshot.",
+    "obs.",
 )
 
 #: Monotonic counters (must end in ``_total``).
@@ -106,6 +111,13 @@ COUNTERS: frozenset[str] = frozenset(
         "snapshot_writes_total",
         "snapshot_recoveries_total",
         "snapshot_invalid_total",
+        # observability internals (repro/obs/recorder.py, tracing.py)
+        "obs_recorder_events_total",
+        "obs_recorder_dropped_total",
+        "obs_recorder_dumps_total",
+        "obs_traces_dropped_total",
+        # SLO watchdog (repro/obs/slo.py)
+        "slo_breaches_total",
     }
 )
 
@@ -116,6 +128,15 @@ GAUGES: frozenset[str] = frozenset(
         "engine_graph_version",
         "wal_last_seq",
         "snapshot_last_seq",
+        # durability staleness (repro/persistence/store.py): how far the
+        # WAL tail has run ahead of the newest snapshot, and how old that
+        # snapshot is — the two numbers a recovery-time estimate needs.
+        "wal_lag_records",
+        "snapshot_age_seconds",
+        # SLO watchdog (repro/obs/slo.py), one series per objective
+        "slo_attainment_ratio",
+        "slo_budget_burn",
+        "slo_latency_estimate_seconds",
     }
 )
 
@@ -127,6 +148,7 @@ HISTOGRAMS: frozenset[str] = frozenset(
         "engine_propagate_seconds",
         "engine_delta_seconds",
         "engine_push_edges_touched",
+        "engine_push_error_bound",
         "qa_ask_seconds",
         "sgp_solve_seconds",
         "optimize_run_seconds",
@@ -172,6 +194,8 @@ SPANS: frozenset[str] = frozenset(
         "wal.replay",
         "snapshot.write",
         "snapshot.recover",
+        # observability (flight-recorder bundle dumps)
+        "obs.dump",
     }
 )
 
@@ -182,8 +206,73 @@ _UNITLESS_HISTOGRAMS: frozenset[str] = frozenset(
         # per-query edge traversals of the push backend (a count, not a
         # latency — the series the sublinearity claim is asserted on)
         "engine_push_edges_touched",
+        # per-query accounted dropped mass of the push backend (a score
+        # error, not a latency — the accuracy half of the cost/accuracy
+        # attribution the flight recorder captures per ask)
+        "engine_push_error_bound",
     }
 )
+
+#: One-line ``# HELP`` text per metric, keyed by series name.  Optional —
+#: :func:`metric_help` generates a fallback for undocumented series — but
+#: the operator-facing ones (everything the ``diag`` report reads) should
+#: be described here.
+METRIC_HELP: dict[str, str] = {
+    "engine_cache_hits_total": "Score-LRU lookups served without propagation.",
+    "engine_cache_misses_total": "Score-LRU lookups that required propagation.",
+    "engine_serves_total": "Single-query score requests served by the engine.",
+    "engine_delta_fallbacks_total": (
+        "Delta revalidations abandoned for a full cache invalidation "
+        "(dense patch frontier)."
+    ),
+    "engine_push_edges_touched": (
+        "Edges traversed per push-backend query (the cost half of the "
+        "push cost/accuracy tradeoff)."
+    ),
+    "engine_push_error_bound": (
+        "Accounted dropped-mass score error per push-backend query (the "
+        "accuracy half of the push cost/accuracy tradeoff)."
+    ),
+    "engine_push_repushes_total": (
+        "Cached push entries recomputed because an optimizer patch "
+        "touched their frontier."
+    ),
+    "qa_ask_seconds": "End-to-end ask() latency.",
+    "qa_asks_total": "Questions served by the QA front end.",
+    "qa_votes_total": "User votes ingested by the QA front end.",
+    "wal_append_seconds": "Vote-WAL fsync-append latency.",
+    "wal_lag_records": (
+        "WAL records past the newest snapshot (replay work a recovery "
+        "would need)."
+    ),
+    "snapshot_age_seconds": "Age of the newest graph snapshot.",
+    "obs_recorder_events_total": "Events recorded by the flight recorder.",
+    "obs_recorder_dropped_total": (
+        "Flight-recorder events evicted from the ring before any dump."
+    ),
+    "obs_recorder_dumps_total": "Diagnostic bundles written by the flight recorder.",
+    "obs_traces_dropped_total": (
+        "Finished traces evicted unread from the tracing ring buffer."
+    ),
+    "slo_breaches_total": "SLO objective evaluations that found a breach.",
+    "slo_attainment_ratio": (
+        "Estimated fraction of operations meeting the objective's "
+        "latency threshold."
+    ),
+    "slo_budget_burn": (
+        "Error-budget burn rate: (1 - attainment) / (1 - target "
+        "quantile); > 1 means burning budget faster than allowed."
+    ),
+    "slo_latency_estimate_seconds": (
+        "Bucket-interpolated latency estimate at the objective's target "
+        "quantile."
+    ),
+}
+
+
+def metric_help(name: str) -> str:
+    """``# HELP`` text for ``name`` (generated fallback if undocumented)."""
+    return METRIC_HELP.get(name, f"Series {name} (see repro/obs/catalog.py).")
 
 
 def is_registered_metric(name: str) -> bool:
@@ -223,4 +312,7 @@ def catalog_errors() -> list[str]:
                 f"histogram {name!r} must end in '_seconds' (or be declared "
                 f"unitless in the catalog)"
             )
+    for name in sorted(METRIC_HELP):
+        if name not in METRICS:
+            errors.append(f"METRIC_HELP documents undeclared series {name!r}")
     return errors

@@ -1,0 +1,424 @@
+"""Post-mortem rendering: health reports from snapshots and bundles.
+
+``repro-kg diag`` is the read side of the flight recorder: given either
+a live metrics snapshot (``--metrics-json`` from any instrumented CLI
+run) or a dumped bundle directory (:mod:`repro.obs.recorder`), render
+the operator's first-five-minutes view —
+
+- **SLO attainment** — every objective graded with the same
+  bucket-interpolation math as the live watchdog (:mod:`repro.obs.slo`);
+- **serving health** — cache-hit ratio per engine, serve/delta/push
+  counters, fallback counts;
+- **push cost/accuracy** — p50/p95/p99 of per-query ``edges_touched``
+  and ``error_bound``, the tradeoff the push kernel's contract is about;
+- **durability staleness** — WAL lag behind the newest snapshot,
+  snapshot age, torn records;
+- **recent events** — the tail of the recorder ring (bundles only).
+
+Everything here is a pure function of the snapshot dict / bundle files,
+so a post-mortem needs no live process and no imports beyond the obs
+package — bundles stay diagnosable from an artifact tarball alone.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.metrics import estimate_quantile
+from repro.obs.slo import LatencyObjective, default_objectives, evaluate_objective
+from repro.utils.tables import format_table
+
+__all__ = [
+    "DiagBundle",
+    "load_bundle",
+    "render_health_report",
+    "render_bundle_report",
+]
+
+#: How many trailing recorder events the bundle report prints.
+EVENT_TAIL = 15
+
+
+@dataclass
+class DiagBundle:
+    """A loaded flight-recorder bundle (all parsed, no live state)."""
+
+    path: Path
+    manifest: dict[str, object]
+    metrics: dict[str, object]
+    events: list[dict[str, object]] = field(default_factory=list)
+    traces: list[dict[str, object]] = field(default_factory=list)
+
+
+def load_bundle(path: "str | os.PathLike[str]") -> DiagBundle:
+    """Parse a bundle directory written by the flight recorder.
+
+    Raises ``FileNotFoundError`` for a missing directory or manifest;
+    the data files are each optional (a partial bundle still renders —
+    that is the point of a post-mortem format).
+    """
+    bundle = Path(path)
+    manifest_path = bundle / "MANIFEST.json"
+    if not manifest_path.is_file():
+        raise FileNotFoundError(
+            f"not a flight-recorder bundle (no MANIFEST.json): {bundle}"
+        )
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest: dict[str, object] = json.load(handle)
+
+    metrics: dict[str, object] = {}
+    metrics_path = bundle / "metrics.json"
+    if metrics_path.is_file():
+        with open(metrics_path, encoding="utf-8") as handle:
+            metrics = json.load(handle)
+
+    events = _read_jsonl(bundle / "events.jsonl")
+    traces = _read_jsonl(bundle / "traces.jsonl")
+    return DiagBundle(
+        path=bundle, manifest=manifest, metrics=metrics, events=events, traces=traces
+    )
+
+
+def _read_jsonl(path: Path) -> list[dict[str, object]]:
+    if not path.is_file():
+        return []
+    out: list[dict[str, object]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# ----------------------------------------------------------------------
+# snapshot access helpers (series key = 'name{k="v",...}')
+# ----------------------------------------------------------------------
+def _parse_series_key(key: str) -> tuple[str, dict[str, str]]:
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    name = key[:brace]
+    labels: dict[str, str] = {}
+    inner = key[brace + 1 : key.rfind("}")]
+    for part in inner.split(","):
+        if "=" in part:
+            k, _, v = part.partition("=")
+            labels[k] = v.strip('"')
+    return name, labels
+
+
+def _series(
+    snapshot: Mapping[str, object], name: str
+) -> list[tuple[dict[str, str], object]]:
+    out: list[tuple[dict[str, str], object]] = []
+    for key, value in snapshot.items():
+        parsed, labels = _parse_series_key(key)
+        if parsed == name:
+            out.append((labels, value))
+    return out
+
+
+def _sum_counter(snapshot: Mapping[str, object], name: str) -> float:
+    total = 0.0
+    for _, value in _series(snapshot, name):
+        if isinstance(value, (int, float)):
+            total += value
+    return total
+
+
+def _merged_histogram(
+    snapshot: Mapping[str, object], name: str
+) -> "tuple[tuple[float, ...], list[int]] | None":
+    """Merge a snapshot's label series of one histogram into
+    ``(bounds, cumulative)`` — the shape the quantile math consumes.
+
+    Snapshot bucket dicts already hold *cumulative* (``le``-semantics)
+    counts (what ``Histogram.snapshot_value`` writes), and a sum of
+    cumulative series is the cumulative series of the sum, so the merge
+    is a plain element-wise addition.
+    """
+    bounds: "tuple[float, ...] | None" = None
+    merged: list[int] = []
+    for _, value in _series(snapshot, name):
+        if not isinstance(value, Mapping):
+            continue
+        buckets = value.get("buckets")
+        if not isinstance(buckets, Mapping):
+            continue
+        finite = sorted(
+            (float(b), int(c)) for b, c in buckets.items() if b != "+Inf"
+        )
+        these = tuple(b for b, _ in finite)
+        cumulative = [c for _, c in finite] + [int(buckets.get("+Inf", 0))]
+        if bounds is None:
+            bounds = these
+            merged = [0] * (len(bounds) + 1)
+        elif these != bounds:
+            continue
+        for i, c in enumerate(cumulative):
+            merged[i] += c
+    if bounds is None:
+        return None
+    return bounds, merged
+
+
+def _fmt(value: float, spec: str = ".4g") -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    return format(value, spec)
+
+
+def _fmt_ms(seconds: float) -> str:
+    if math.isnan(seconds):
+        return "-"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+# ----------------------------------------------------------------------
+# report sections
+# ----------------------------------------------------------------------
+def _slo_section(
+    snapshot: Mapping[str, object], objectives: Sequence[LatencyObjective]
+) -> str:
+    rows: list[list[object]] = []
+    for objective in objectives:
+        merged = _merged_histogram(snapshot, objective.metric)
+        if merged is None:
+            status = evaluate_objective(objective, (), [0])
+        else:
+            status = evaluate_objective(objective, merged[0], merged[1])
+        if status.count == 0:
+            verdict = "no data"
+        elif status.breached:
+            verdict = "BREACH"
+        else:
+            verdict = "ok"
+        rows.append(
+            [
+                objective.name,
+                f"p{objective.quantile * 100:g}({objective.metric}) "
+                f"<= {objective.threshold:g}s",
+                status.count,
+                _fmt_ms(status.estimate),
+                "-" if math.isnan(status.attainment) else f"{status.attainment:.2%}",
+                _fmt(status.burn, ".3g"),
+                verdict,
+            ]
+        )
+    return format_table(
+        ["slo", "objective", "n", "estimate", "attainment", "burn", "status"],
+        rows,
+        title="SLO attainment",
+    )
+
+
+def _serving_section(snapshot: Mapping[str, object]) -> str:
+    engines: dict[str, dict[str, float]] = {}
+    for metric, column in (
+        ("engine_cache_hits_total", "hits"),
+        ("engine_cache_misses_total", "misses"),
+        ("engine_serves_total", "serves"),
+    ):
+        for labels, value in _series(snapshot, metric):
+            if isinstance(value, (int, float)):
+                name = labels.get("engine", "-")
+                engines.setdefault(name, {})[column] = float(value)
+    rows = []
+    totals = {"hits": 0.0, "misses": 0.0, "serves": 0.0}
+    for name in sorted(engines):
+        stats = engines[name]
+        hits = stats.get("hits", 0.0)
+        misses = stats.get("misses", 0.0)
+        serves = stats.get("serves", 0.0)
+        for key, val in (("hits", hits), ("misses", misses), ("serves", serves)):
+            totals[key] += val
+        lookups = hits + misses
+        ratio = f"{hits / lookups:.2%}" if lookups else "-"
+        rows.append([name, int(serves), int(hits), int(misses), ratio])
+    if len(rows) > 1:
+        lookups = totals["hits"] + totals["misses"]
+        ratio = f"{totals['hits'] / lookups:.2%}" if lookups else "-"
+        rows.append(
+            [
+                "(all)",
+                int(totals["serves"]),
+                int(totals["hits"]),
+                int(totals["misses"]),
+                ratio,
+            ]
+        )
+    if not rows:
+        rows.append(["-", 0, 0, 0, "-"])
+    return format_table(
+        ["engine", "serves", "cache hits", "cache misses", "hit ratio"],
+        rows,
+        title="Serving cache",
+    )
+
+
+def _distribution_rows(
+    snapshot: Mapping[str, object], metric: str, label: str, unit: str
+) -> "list[object] | None":
+    merged = _merged_histogram(snapshot, metric)
+    if merged is None or merged[1][-1] == 0:
+        return None
+    bounds, cumulative = merged
+    quantiles = [
+        estimate_quantile(bounds, cumulative, q) for q in (0.5, 0.95, 0.99)
+    ]
+    if unit == "s":
+        rendered = [_fmt_ms(q) for q in quantiles]
+    else:
+        rendered = [_fmt(q) for q in quantiles]
+    return [label, cumulative[-1], *rendered]
+
+
+def _push_section(snapshot: Mapping[str, object]) -> "str | None":
+    rows: list[list[object]] = []
+    for metric, label, unit in (
+        ("engine_push_edges_touched", "edges touched / query", ""),
+        ("engine_push_error_bound", "error bound / query", ""),
+        ("qa_ask_seconds", "ask latency", "s"),
+        ("engine_propagate_seconds", "propagate latency", "s"),
+    ):
+        row = _distribution_rows(snapshot, metric, label, unit)
+        if row is not None:
+            rows.append(list(row))
+    if not rows:
+        return None
+    counters = format_table(
+        ["counter", "value"],
+        [
+            [name, int(_sum_counter(snapshot, name))]
+            for name in (
+                "engine_push_serves_total",
+                "engine_push_repushes_total",
+                "engine_push_rekeys_total",
+                "engine_delta_revalidations_total",
+                "engine_delta_entries_patched_total",
+                "engine_delta_fallbacks_total",
+                "engine_delta_rekeys_total",
+            )
+            if _series(snapshot, name)
+        ],
+        title="Propagation repair counters",
+    )
+    table = format_table(
+        ["distribution", "n", "p50", "p95", "p99"],
+        rows,
+        title="Per-query cost distributions",
+    )
+    return table + "\n\n" + counters
+
+
+def _durability_section(snapshot: Mapping[str, object]) -> "str | None":
+    names = (
+        ("wal_last_seq", "WAL last seq", ""),
+        ("wal_lag_records", "WAL records past newest snapshot", ""),
+        ("snapshot_last_seq", "snapshot last seq", ""),
+        ("snapshot_age_seconds", "snapshot age", "s"),
+        ("wal_torn_records_total", "torn WAL records", ""),
+        ("snapshot_invalid_total", "invalid snapshots skipped", ""),
+    )
+    rows: list[list[object]] = []
+    for name, label, unit in names:
+        series = _series(snapshot, name)
+        if not series:
+            continue
+        total = sum(v for _, v in series if isinstance(v, (int, float)))
+        if unit == "s":
+            rows.append([label, f"{total:.1f}s"])
+        else:
+            rows.append([label, int(total)])
+    if not rows:
+        return None
+    return format_table(["staleness", "value"], rows, title="Durability")
+
+
+def _events_section(events: Sequence[Mapping[str, object]]) -> "str | None":
+    if not events:
+        return None
+    tail = list(events[-EVENT_TAIL:])
+    t_last_raw = tail[-1].get("t", 0.0)
+    t_last = float(t_last_raw) if isinstance(t_last_raw, (int, float)) else 0.0
+    rows: list[list[object]] = []
+    for event in tail:
+        t_raw = event.get("t", 0.0)
+        t = float(t_raw) if isinstance(t_raw, (int, float)) else 0.0
+        attrs = " ".join(
+            f"{k}={_fmt(v) if isinstance(v, float) else v}"
+            for k, v in event.items()
+            if k not in ("kind", "t")
+        )
+        rows.append([f"{t - t_last:+.3f}s", str(event.get("kind", "?")), attrs])
+    return format_table(
+        ["t (vs last)", "event", "attributes"],
+        rows,
+        title=f"Last {len(tail)} recorder events (of {len(events)})",
+    )
+
+
+def render_health_report(
+    snapshot: Mapping[str, object],
+    *,
+    events: "Sequence[Mapping[str, object]] | None" = None,
+    manifest: "Mapping[str, object] | None" = None,
+    objectives: "Iterable[LatencyObjective] | None" = None,
+) -> str:
+    """The full diag report as one printable string.
+
+    ``snapshot`` is a metrics-registry snapshot (live or from a bundle's
+    ``metrics.json``); ``events``/``manifest`` come from a bundle when
+    available.  Sections with no underlying data are omitted rather than
+    rendered empty, so a minimal snapshot still yields a clean report.
+    """
+    objs = tuple(default_objectives() if objectives is None else objectives)
+    parts: list[str] = []
+    if manifest is not None:
+        reason = manifest.get("reason", "?")
+        detail = manifest.get("detail", "")
+        created = manifest.get("created_at", "?")
+        header = f"Flight bundle: reason={reason!r} created={created}"
+        if detail:
+            header += f"\n  trigger: {detail}"
+        parts.append(header)
+    asks = _sum_counter(snapshot, "qa_asks_total")
+    votes = _sum_counter(snapshot, "qa_votes_total")
+    optimizes = _sum_counter(snapshot, "optimize_runs_total")
+    parts.append(
+        f"Workload: {int(asks)} asks, {int(votes)} votes, "
+        f"{int(optimizes)} optimize runs, {len(snapshot)} series"
+    )
+    parts.append(_slo_section(snapshot, objs))
+    parts.append(_serving_section(snapshot))
+    push = _push_section(snapshot)
+    if push is not None:
+        parts.append(push)
+    durability = _durability_section(snapshot)
+    if durability is not None:
+        parts.append(durability)
+    if events:
+        section = _events_section(events)
+        if section is not None:
+            parts.append(section)
+    return "\n\n".join(parts) + "\n"
+
+
+def render_bundle_report(
+    bundle: DiagBundle,
+    *,
+    objectives: "Iterable[LatencyObjective] | None" = None,
+) -> str:
+    """Render :func:`render_health_report` for a loaded bundle."""
+    return render_health_report(
+        bundle.metrics,
+        events=bundle.events,
+        manifest=bundle.manifest,
+        objectives=objectives,
+    )

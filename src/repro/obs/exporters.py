@@ -21,6 +21,7 @@ from __future__ import annotations
 import json
 from collections.abc import Iterable
 
+from repro.obs.catalog import metric_help
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracing import Trace, add_trace_listener, remove_trace_listener
 from repro.utils.tables import format_table
@@ -61,7 +62,13 @@ def write_metrics_json(path, registry: MetricsRegistry) -> dict:
 
 
 def metrics_to_prometheus(registry: MetricsRegistry) -> str:
-    """Prometheus text exposition of every series in ``registry``."""
+    """Prometheus text exposition of every series in ``registry``.
+
+    Emits ``# HELP`` (text from the catalog's ``METRIC_HELP``) and
+    ``# TYPE`` metadata per metric family, and escapes label values and
+    help text per the exposition format (backslash, double quote, and
+    newline in label values; backslash and newline in help text).
+    """
     by_name: dict[str, list] = {}
     for metric in registry.series().values():
         by_name.setdefault(metric.name, []).append(metric)
@@ -72,6 +79,7 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
         kind = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}[
             type(metrics[0])
         ]
+        lines.append(f"# HELP {name} {_escape_help(metric_help(name))}")
         lines.append(f"# TYPE {name} {kind}")
         for metric in metrics:
             if isinstance(metric, Histogram):
@@ -93,10 +101,22 @@ def metrics_to_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the Prometheus exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels: dict) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(str(labels[k]))}"' for k in sorted(labels)
+    )
     return f"{{{inner}}}"
 
 

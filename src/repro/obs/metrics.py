@@ -30,6 +30,7 @@ with Prometheus-style suffixes — ``_total`` for counters,
 
 from __future__ import annotations
 
+import math
 import threading
 from bisect import bisect_left
 from collections.abc import Mapping, Sequence
@@ -40,6 +41,8 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
+    "estimate_quantile",
+    "fraction_at_or_below",
     "get_registry",
     "set_registry",
 ]
@@ -147,6 +150,16 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (see
+        :func:`estimate_quantile`); ``nan`` with zero observations."""
+        return estimate_quantile(self.buckets, self.cumulative_counts(), q)
+
+    def fraction_le(self, threshold: float) -> float:
+        """Interpolated fraction of samples ≤ ``threshold`` (see
+        :func:`fraction_at_or_below`); ``nan`` with zero observations."""
+        return fraction_at_or_below(self.buckets, self.cumulative_counts(), threshold)
+
     def snapshot_value(self) -> "dict[str, float | int | dict[str, int]]":
         cumulative = self.cumulative_counts()
         return {
@@ -157,6 +170,91 @@ class Histogram:
                 "+Inf": cumulative[-1],
             },
         }
+
+
+def estimate_quantile(
+    bounds: Sequence[float], cumulative: Sequence[int], q: float
+) -> float:
+    """Prometheus-style bucket-interpolated quantile estimate.
+
+    ``bounds`` are the finite upper bucket bounds and ``cumulative`` the
+    cumulative counts *including* the trailing ``+Inf`` bucket
+    (``len(cumulative) == len(bounds) + 1``) — exactly the shape
+    :meth:`Histogram.cumulative_counts` and a snapshot's ``buckets`` dict
+    provide, so bundle post-mortems reuse the same math as live checks.
+
+    The rank ``q·count`` is located in its bucket and linearly
+    interpolated between the bucket's bounds, which is exact when samples
+    are uniform within a bucket and never off by more than one bucket
+    width otherwise.  Edge cases follow ``histogram_quantile``: an empty
+    histogram returns ``nan``, a rank landing in the ``+Inf`` bucket
+    returns the largest finite bound (the estimate cannot invent an
+    upper edge), and the first bucket interpolates from an implicit
+    lower bound of ``0`` (latency-style data).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if len(cumulative) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} cumulative counts "
+            f"(finite buckets + '+Inf'), got {len(cumulative)}"
+        )
+    total = cumulative[-1]
+    if total == 0:
+        return math.nan
+    rank = q * total
+    index = 0
+    while cumulative[index] < rank or cumulative[index] == 0:
+        index += 1
+    if index >= len(bounds):  # rank beyond the last finite bound
+        return bounds[-1]
+    upper = bounds[index]
+    prev = cumulative[index - 1] if index else 0
+    in_bucket = cumulative[index] - prev
+    if in_bucket <= 0:  # pragma: no cover - unreachable by construction
+        return upper
+    if index:
+        lower = bounds[index - 1]
+    elif upper <= 0:
+        return upper
+    else:
+        lower = 0.0
+    return lower + (rank - prev) / in_bucket * (upper - lower)
+
+
+def fraction_at_or_below(
+    bounds: Sequence[float], cumulative: Sequence[int], threshold: float
+) -> float:
+    """Interpolated fraction of observed samples ≤ ``threshold``.
+
+    The inverse question of :func:`estimate_quantile` — "what attainment
+    did this latency objective get?" — under the same
+    uniform-within-bucket model and the same input shape.  A threshold
+    sitting exactly on a bucket bound is exact (``le`` semantics);
+    samples in the ``+Inf`` bucket are conservatively counted as *above*
+    any threshold.  Returns ``nan`` with zero observations.
+    """
+    if len(cumulative) != len(bounds) + 1:
+        raise ValueError(
+            f"expected {len(bounds) + 1} cumulative counts "
+            f"(finite buckets + '+Inf'), got {len(cumulative)}"
+        )
+    total = cumulative[-1]
+    if total == 0:
+        return math.nan
+    index = bisect_left(bounds, threshold)
+    if index >= len(bounds):
+        return cumulative[len(bounds) - 1] / total
+    if bounds[index] == threshold:
+        return cumulative[index] / total
+    prev = cumulative[index - 1] if index else 0
+    lower = bounds[index - 1] if index else min(0.0, threshold)
+    if threshold <= lower:
+        return prev / total
+    upper = bounds[index]
+    in_bucket = cumulative[index] - prev
+    covered = (threshold - lower) / (upper - lower)
+    return (prev + covered * in_bucket) / total
 
 
 class MetricsRegistry:

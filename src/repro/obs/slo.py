@@ -1,0 +1,238 @@
+"""SLO watchdog: latency objectives evaluated from histogram quantiles.
+
+An objective is a sentence — "p95 of ``qa_ask_seconds`` stays under
+250ms" — made checkable: :class:`LatencyObjective` names the histogram,
+the target quantile, and the threshold; :class:`SLOWatchdog.check`
+estimates the quantile with the bucket-interpolation math from
+:mod:`repro.obs.metrics`, computes **attainment** (the interpolated
+fraction of operations under the threshold) and **error-budget burn**
+(``(1 - attainment) / (1 - target_quantile)`` — burn > 1 means the
+budget is being spent faster than the objective allows), and publishes
+all three as per-objective gauges in the catalog:
+
+- ``slo_attainment_ratio{slo="..."}``
+- ``slo_budget_burn{slo="..."}``
+- ``slo_latency_estimate_seconds{slo="..."}``
+
+A breach — estimated quantile above the threshold — increments
+``slo_breaches_total`` and, on the not-breached → breached transition,
+fires the armed flight recorder (:mod:`repro.obs.recorder`), so the
+bundle captures the window in which the objective was lost rather than
+a steady-state of failure.
+
+The evaluation core (:func:`evaluate_objective`) is a pure function of
+``(bounds, cumulative counts)``, which is exactly what both a live
+:class:`~repro.obs.metrics.Histogram` and a dumped ``metrics.json``
+snapshot provide — the ``repro-kg diag`` report grades a dead bundle
+with the same math the live watchdog uses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    estimate_quantile,
+    fraction_at_or_below,
+    get_registry,
+)
+from repro.obs.recorder import FlightRecorder, active_recorder
+
+__all__ = [
+    "LatencyObjective",
+    "SLOStatus",
+    "SLOWatchdog",
+    "evaluate_objective",
+    "merge_histograms",
+    "default_objectives",
+]
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """"p``quantile`` of ``metric`` stays ≤ ``threshold`` seconds"."""
+
+    name: str  #: objective id, the ``slo`` label value (e.g. ``ask-p95``)
+    metric: str  #: histogram series name (e.g. ``qa_ask_seconds``)
+    quantile: float  #: target quantile in (0, 1) (e.g. 0.95)
+    threshold: float  #: latency threshold in seconds
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile < 1.0:
+            raise ValueError(
+                f"objective {self.name!r}: quantile must be in (0, 1), "
+                f"got {self.quantile}"
+            )
+        if self.threshold <= 0.0:
+            raise ValueError(
+                f"objective {self.name!r}: threshold must be > 0, "
+                f"got {self.threshold}"
+            )
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One objective's verdict at one evaluation."""
+
+    objective: LatencyObjective
+    count: int  #: samples observed (0 ⇒ nothing to grade)
+    estimate: float  #: estimated latency at the target quantile (nan if empty)
+    attainment: float  #: interpolated fraction ≤ threshold (nan if empty)
+    burn: float  #: error-budget burn rate (nan if empty)
+    breached: bool  #: estimate above threshold
+
+
+def evaluate_objective(
+    objective: LatencyObjective,
+    bounds: Sequence[float],
+    cumulative: Sequence[int],
+) -> SLOStatus:
+    """Grade one objective against merged histogram data (pure)."""
+    total = cumulative[-1] if cumulative else 0
+    if total == 0:
+        return SLOStatus(
+            objective=objective,
+            count=0,
+            estimate=math.nan,
+            attainment=math.nan,
+            burn=math.nan,
+            breached=False,
+        )
+    estimate = estimate_quantile(bounds, cumulative, objective.quantile)
+    attainment = fraction_at_or_below(bounds, cumulative, objective.threshold)
+    burn = (1.0 - attainment) / (1.0 - objective.quantile)
+    return SLOStatus(
+        objective=objective,
+        count=total,
+        estimate=estimate,
+        attainment=attainment,
+        burn=burn,
+        breached=estimate > objective.threshold,
+    )
+
+
+def merge_histograms(
+    histograms: Iterable[Histogram],
+) -> "tuple[tuple[float, ...], list[int]] | None":
+    """Merge same-name label series into one ``(bounds, cumulative)``.
+
+    Only series sharing the first one's bucket bounds participate (bucket
+    layouts are per-creation-site, so in practice all series of one name
+    agree); returns ``None`` for an empty iterable.
+    """
+    bounds: "tuple[float, ...] | None" = None
+    merged: list[int] = []
+    for histogram in histograms:
+        if bounds is None:
+            bounds = histogram.buckets
+            merged = [0] * (len(bounds) + 1)
+        elif histogram.buckets != bounds:
+            continue
+        for i, c in enumerate(histogram.cumulative_counts()):
+            merged[i] += c
+    if bounds is None:
+        return None
+    return bounds, merged
+
+
+def default_objectives() -> tuple[LatencyObjective, ...]:
+    """The stock serving-loop objectives the CLI and diag report grade.
+
+    Thresholds are generous for CI hardware; a deployment tightens them
+    by passing its own list to :class:`SLOWatchdog`.
+    """
+    return (
+        LatencyObjective("ask-p95", "qa_ask_seconds", 0.95, 0.25),
+        LatencyObjective("ask-p99", "qa_ask_seconds", 0.99, 1.0),
+        LatencyObjective("wal-append-p99", "wal_append_seconds", 0.99, 0.25),
+        LatencyObjective("solve-p95", "sgp_solve_seconds", 0.95, 10.0),
+    )
+
+
+class SLOWatchdog:
+    """Evaluates objectives against the live registry; the breach trigger.
+
+    Call :meth:`check` periodically (the CLI does at end of run; a
+    service would on a timer).  Gauges are refreshed every check; the
+    breach counter and the flight-recorder trigger fire only on the
+    not-breached → breached *transition*, so a persistent breach dumps
+    one bundle, not one per poll.
+    """
+
+    def __init__(
+        self,
+        objectives: "Iterable[LatencyObjective] | None" = None,
+        *,
+        registry: "MetricsRegistry | None" = None,
+        recorder: "FlightRecorder | None" = None,
+    ) -> None:
+        self.objectives: tuple[LatencyObjective, ...] = tuple(
+            default_objectives() if objectives is None else objectives
+        )
+        names = [o.name for o in self.objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self._registry = registry
+        self._recorder = recorder
+        self._was_breached: dict[str, bool] = {}
+
+    def _resolve_registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else get_registry()
+
+    def _resolve_recorder(self) -> "FlightRecorder | None":
+        return self._recorder if self._recorder is not None else active_recorder()
+
+    def check(self) -> list[SLOStatus]:
+        """Grade every objective; refresh gauges; trigger on new breaches."""
+        registry = self._resolve_registry()
+        by_metric: dict[str, list[Histogram]] = {}
+        for instrument in registry.series().values():
+            if isinstance(instrument, Histogram):
+                by_metric.setdefault(instrument.name, []).append(instrument)
+
+        statuses: list[SLOStatus] = []
+        for objective in self.objectives:
+            merged = merge_histograms(by_metric.get(objective.metric, []))
+            if merged is None:
+                status = evaluate_objective(objective, (), [0])
+            else:
+                status = evaluate_objective(objective, merged[0], merged[1])
+            statuses.append(status)
+            label = {"slo": objective.name}
+            if status.count:
+                registry.gauge("slo_attainment_ratio", **label).set(status.attainment)
+                registry.gauge("slo_budget_burn", **label).set(status.burn)
+                registry.gauge("slo_latency_estimate_seconds", **label).set(
+                    status.estimate
+                )
+            newly = status.breached and not self._was_breached.get(
+                objective.name, False
+            )
+            self._was_breached[objective.name] = status.breached
+            if status.breached:
+                registry.counter("slo_breaches_total", **label).inc()
+            if newly:
+                recorder = self._resolve_recorder()
+                if recorder is not None:
+                    recorder.record(
+                        "slo.breach",
+                        slo=objective.name,
+                        estimate=round(status.estimate, 6),
+                        threshold=objective.threshold,
+                        burn=round(status.burn, 4),
+                    )
+                    recorder.trigger(
+                        "slo_breach",
+                        detail=(
+                            f"{objective.name}: p{objective.quantile * 100:g} "
+                            f"estimate {status.estimate:.4f}s > threshold "
+                            f"{objective.threshold:g}s "
+                            f"(attainment {status.attainment:.2%}, "
+                            f"burn {status.burn:.2f}x)"
+                        ),
+                    )
+        return statuses

@@ -104,6 +104,13 @@ class Span:
         stack.pop()
         if not stack:
             trace = Trace(self)
+            if len(_finished) == TRACE_BUFFER_SIZE:
+                # The ring is full: appending evicts the oldest trace
+                # unread.  Deliberate (bounded memory), but accounted —
+                # a dashboard can tell "quiet" from "overwritten".
+                from repro.obs.metrics import get_registry
+
+                get_registry().counter("obs_traces_dropped_total").inc()
             _finished.append(trace)
             if _listeners:
                 for listener in list(_listeners):

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import PersistenceError, VoteError
 from repro.eval.harness import vote_omega_avg
+from repro.obs import trace_span
 from repro.graph.augmented import AugmentedGraph
 from repro.optimize.multi_vote import solve_multi_vote
 from repro.optimize.split_merge import solve_split_merge
@@ -247,11 +248,20 @@ class OnlineOptimizer:
 
     def _replay(self, records: "tuple[WalRecord, ...] | list[WalRecord]") -> None:
         """Re-buffer already-durable votes, firing flushes as live mode did."""
-        for record in records:
-            self._pending_seqs.append(record.seq)
-            self.pending.add(record.vote)
-            if self.policy.should_optimize(self.pending):
-                self.flush()
+        if not records:
+            return
+        with trace_span("wal.replay") as span:
+            batches_before = len(self.history)
+            for record in records:
+                self._pending_seqs.append(record.seq)
+                self.pending.add(record.vote)
+                if self.policy.should_optimize(self.pending):
+                    self.flush()
+            if span.recording:
+                span.set_attrs(
+                    records=len(records),
+                    batches_fired=len(self.history) - batches_before,
+                )
 
     @property
     def total_votes_processed(self) -> int:

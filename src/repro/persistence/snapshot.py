@@ -125,6 +125,12 @@ class SnapshotStore:
         files = self._snapshot_files()
         return files[0][0] if files else 0
 
+    def newest_path(self) -> "Path | None":
+        """The newest on-disk snapshot file (by claimed sequence), or
+        ``None`` — what staleness gauges ``stat`` for the write time."""
+        files = self._snapshot_files()
+        return files[0][1] if files else None
+
     def latest(self) -> "tuple[AugmentedGraph, int] | None":
         """The newest *loadable* snapshot as ``(graph, last_applied_seq)``.
 

@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from datetime import datetime
 from pathlib import Path
 
 from repro.graph.augmented import AugmentedGraph
 from repro.obs import MetricsRegistry, get_registry, trace_span
+from repro.obs.recorder import active_recorder
 from repro.persistence.snapshot import SnapshotStore
 from repro.persistence.wal import VoteWAL, WalRecord
 from repro.votes.types import Vote
@@ -100,6 +102,30 @@ class DurableStore:
         self._m_replayed = self.registry.counter("wal_replayed_total")
         self._m_recoveries = self.registry.counter("snapshot_recoveries_total")
         self._h_recover = self.registry.histogram("snapshot_recover_seconds")
+        self._g_wal_lag = self.registry.gauge("wal_lag_records")
+        self._g_snapshot_age = self.registry.gauge("snapshot_age_seconds")
+        self._refresh_staleness()
+
+    def _refresh_staleness(self) -> None:
+        """Update the two staleness gauges a recovery-time estimate needs.
+
+        ``wal_lag_records`` is the sequence distance between the WAL tail
+        and the newest snapshot — the number of votes a recovery would
+        replay (appends assign contiguous sequences, so distance equals
+        record count in the normal regime).  ``snapshot_age_seconds`` is
+        the newest snapshot file's write-time age (wall clock via
+        ``datetime`` — monotonic time cannot be compared to an mtime).
+        """
+        snapshot_seq = self.snapshots.newest_seq()
+        self._g_wal_lag.set(max(0, self.wal.last_seq - snapshot_seq))
+        newest = self.snapshots.newest_path()
+        if newest is not None:
+            try:
+                mtime = newest.stat().st_mtime
+            except OSError:
+                return
+            age = datetime.now().timestamp() - mtime
+            self._g_snapshot_age.set(max(0.0, age))
 
     @property
     def directory(self) -> Path:
@@ -108,7 +134,9 @@ class DurableStore:
 
     def log_vote(self, vote: Vote) -> int:
         """Durably append one vote; returns its WAL sequence number."""
-        return self.wal.append(vote)
+        seq = self.wal.append(vote)
+        self._g_wal_lag.set(max(0, seq - self.snapshots.newest_seq()))
+        return seq
 
     def checkpoint(self, aug: AugmentedGraph, last_applied_seq: int) -> Path:
         """Snapshot ``aug`` as covering ``last_applied_seq``, trim the WAL.
@@ -119,6 +147,14 @@ class DurableStore:
         """
         path = self.snapshots.write(aug, last_applied_seq=last_applied_seq)
         self.wal.rotate(up_to_seq=last_applied_seq)
+        self._refresh_staleness()
+        rec = active_recorder()
+        if rec is not None:
+            rec.record(
+                "wal.checkpoint",
+                last_applied_seq=last_applied_seq,
+                wal_records_kept=len(self.wal),
+            )
         return path
 
     def recover(self) -> RecoveredState:
@@ -142,6 +178,15 @@ class DurableStore:
         if tail:
             self._m_replayed.inc(len(tail))
         self._h_recover.observe(time.perf_counter() - started)
+        self._refresh_staleness()
+        rec = active_recorder()
+        if rec is not None:
+            rec.record(
+                "wal.recover",
+                snapshot_seq=snapshot_seq,
+                tail_records=len(tail),
+                has_snapshot=aug is not None,
+            )
         return RecoveredState(aug=aug, snapshot_seq=snapshot_seq, tail=tail)
 
     def close(self) -> None:

@@ -48,6 +48,7 @@ from pathlib import Path
 from repro.errors import PersistenceError
 from repro.graph.persistence import fsync_directory
 from repro.obs import MetricsRegistry, get_registry
+from repro.obs.recorder import active_recorder
 from repro.votes.types import Vote
 
 __all__ = ["WalRecord", "VoteWAL", "vote_to_payload", "vote_from_payload"]
@@ -274,7 +275,11 @@ class VoteWAL:
         self._last_seq = seq
         self._m_appends.inc()
         self._g_last_seq.set(seq)
-        self._h_append.observe(time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self._h_append.observe(elapsed)
+        rec = active_recorder()
+        if rec is not None:
+            rec.record_timed("wal.append", elapsed, seq=seq)
         return seq
 
     def rotate(self, *, up_to_seq: int) -> int:

@@ -29,6 +29,7 @@ from repro.eval.harness import EvaluationResult, evaluate_test_set
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import WeightedDiGraph
 from repro.obs import get_registry, trace_span
+from repro.obs.recorder import active_recorder
 from repro.optimize.multi_vote import solve_multi_vote
 from repro.optimize.report import OptimizeReport
 from repro.optimize.single_vote import solve_single_votes
@@ -233,7 +234,16 @@ class QASystem:
                     question_id=question_id, num_answers=len(ranked)
                 )
         self._m_asks.inc()
-        self._h_ask.observe(perf_counter() - started)
+        elapsed = perf_counter() - started
+        self._h_ask.observe(elapsed)
+        rec = active_recorder()
+        if rec is not None:
+            rec.record_timed(
+                "qa.ask",
+                elapsed,
+                question_id=question_id,
+                num_answers=len(ranked),
+            )
         return self._record_shown(question_id, ranked)
 
     def ask_many(
@@ -302,7 +312,16 @@ class QASystem:
                     for question_id in attached
                 }
         self._m_asks.inc(len(attached))
-        self._h_ask.observe(perf_counter() - started)
+        elapsed = perf_counter() - started
+        self._h_ask.observe(elapsed)
+        rec = active_recorder()
+        if rec is not None:
+            rec.record_timed(
+                "qa.ask_many",
+                elapsed,
+                num_questions=len(questions),
+                num_attached=len(attached),
+            )
         return results
 
     def vote(self, question_id: str, best_doc: str) -> Vote:
@@ -324,6 +343,14 @@ class QASystem:
         vote = Vote(query=question_id, ranked_answers=shown, best_answer=best_doc)
         self._votes.add(vote)
         self._m_votes.inc()
+        rec = active_recorder()
+        if rec is not None:
+            rec.record(
+                "qa.vote",
+                question_id=question_id,
+                positive=bool(shown and shown[0] == best_doc),
+                pending=len(self._votes),
+            )
         return vote
 
     @property
@@ -368,6 +395,8 @@ class QASystem:
         """
         if not len(self._votes):
             raise VoteError("no pending votes to optimize against")
+        num_votes = len(self._votes)
+        started = perf_counter()
         options["params"] = resolve_similarity_params(
             options.pop("params", None),
             max_length=options.pop("max_length", None),
@@ -404,6 +433,15 @@ class QASystem:
                 # first post-optimize ask hits a warm cache instead of
                 # repropagating.
                 self._engine.revalidate()
+        rec = active_recorder()
+        if rec is not None:
+            rec.record_timed(
+                "qa.optimize",
+                perf_counter() - started,
+                strategy=strategy,
+                num_votes=num_votes,
+                changed_edges=report.num_changed_edges,
+            )
         if clear_votes:
             self._votes = VoteSet()
         return report

@@ -76,6 +76,7 @@ from repro.errors import EvaluationError, NodeNotFoundError
 from repro.graph.augmented import AugmentedGraph
 from repro.graph.digraph import Node
 from repro.obs import MetricsRegistry, get_registry, trace_span
+from repro.obs.recorder import active_recorder
 from repro.serving.delta import (
     DEFAULT_DELTA_DENSITY_THRESHOLD,
     DeltaCorrector,
@@ -87,6 +88,17 @@ from repro.similarity.push import PropagationResult, amplification_bound
 
 #: Default bound on the per-query score-vector LRU cache.
 DEFAULT_CACHE_SIZE = 256
+
+#: Buckets for ``engine_push_error_bound`` (accounted dropped mass per
+#: push query, a score error on [0, 1) — powers of ten, not latencies).
+PUSH_ERROR_BOUND_BUCKETS: tuple[float, ...] = (
+    1e-12, 1e-10, 1e-9, 1e-8, 1e-7, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0,
+)
+
+#: A single revalidation re-pushing this many cached entries is a
+#: "repush storm" — the optimizer's patch frontier keeps hitting the
+#: cached queries' touched sets — and fires the flight recorder.
+REPUSH_STORM_THRESHOLD = 8
 
 #: Distinguishes the metric series of multiple engines in one process.
 _ENGINE_SEQ = itertools.count()
@@ -268,6 +280,11 @@ class SimilarityEngine:
         self._h_delta = self.registry.histogram("engine_delta_seconds", **label)
         self._h_push_edges = self.registry.histogram(
             "engine_push_edges_touched", **label
+        )
+        self._h_push_error = self.registry.histogram(
+            "engine_push_error_bound",
+            buckets=PUSH_ERROR_BOUND_BUCKETS,
+            **label,
         )
 
     # ------------------------------------------------------------------
@@ -676,12 +693,31 @@ class SimilarityEngine:
                     corrected.clear()
                     self._m_delta_fallbacks.inc()
                     span.set_attrs(fallback=str(exc) or type(exc).__name__)
+                    rec = active_recorder()
+                    if rec is not None:
+                        detail = str(exc) or type(exc).__name__
+                        rec.record(
+                            "engine.delta_fallback",
+                            engine=self.engine_label,
+                            entries_dropped=len(dense_keys),
+                            edges_changed=int(changed.size),
+                            error=detail,
+                        )
+                        rec.trigger(
+                            "delta_fallback",
+                            detail=(
+                                f"engine {self.engine_label}: dropped "
+                                f"{len(dense_keys)} dense cache entries "
+                                f"({detail})"
+                            ),
+                        )
             self._h_delta.observe(time.perf_counter() - started)
             if dense_ok:
                 self._m_delta_revalidations.inc()
                 self._m_delta_entries.inc(len(dense_keys))
         repushed: dict[tuple, PropagationResult] = {}
         dropped: set[tuple] = set()
+        push_rekeyed = 0
         if push_keys:
             out_matrix, rho = self._ensure_push_state()
             changed_heads = np.unique(
@@ -738,6 +774,7 @@ class SimilarityEngine:
                 repushed[key] = result
             if rekeyed:
                 self._m_push_rekeys.inc(rekeyed)
+            push_rekeyed = rekeyed
         # Rebuild the cache in LRU order with new-epoch keys; entries
         # with no repair rule (dense after a fallback, failed re-pushes,
         # unknown backends) simply fall out.
@@ -759,6 +796,27 @@ class SimilarityEngine:
         self._cache = new_cache
         self._push_meta = new_meta
         self._g_cache_entries.set(len(new_cache))
+        rec = active_recorder()
+        if rec is not None:
+            rec.record(
+                "engine.revalidate",
+                engine=self.engine_label,
+                edges_changed=int(changed.size),
+                entries_patched=len(corrected),
+                dense_fallback=not dense_ok,
+                push_repushes=len(repushed),
+                push_rekeys=push_rekeyed,
+                entries_kept=len(new_cache),
+            )
+            if len(repushed) >= REPUSH_STORM_THRESHOLD:
+                rec.trigger(
+                    "repush_storm",
+                    detail=(
+                        f"engine {self.engine_label}: one revalidation "
+                        f"re-pushed {len(repushed)} cached entries "
+                        f"(threshold {REPUSH_STORM_THRESHOLD})"
+                    ),
+                )
         return True
 
     def _rebuild(self) -> None:
@@ -1063,6 +1121,7 @@ class SimilarityEngine:
             )
         self._h_propagate.observe(time.perf_counter() - started)
         self._h_push_edges.observe(float(result.edges_touched))
+        self._h_push_error.observe(float(result.error_bound))
         if contracts_enabled():
             links_key = tuple(links.items())
             check_push_scores(
@@ -1085,15 +1144,19 @@ class SimilarityEngine:
         params: SimilarityParams,
         backend: PropagationBackend,
         key: tuple,
-    ) -> np.ndarray:
-        """Serve one query via push, caching the vector + its metadata."""
+    ) -> PropagationResult:
+        """Serve one query via push, caching the vector + its metadata.
+
+        Returns the full :class:`PropagationResult` so the caller can
+        attribute the query's cost (``edges_touched``) and accuracy
+        (``error_bound``) — not just the scores.
+        """
         result = self._push_compute(links, target_idx, params, backend)
         self._m_push_serves.inc()
-        vector = result.scores
-        self._cache_put(key, vector)
+        self._cache_put(key, result.scores)
         if key in self._cache:
             self._push_meta[key] = result
-        return vector
+        return result
 
     def scores(
         self,
@@ -1114,16 +1177,32 @@ class SimilarityEngine:
         target_list = self._resolve_targets(targets)
         self._m_serves.inc()
         self._flush()
+        # Flight-recorder attribution: one event per serve with the
+        # backend, cache outcome, epoch, and (for push) the query's own
+        # cost/accuracy numbers.  Disarmed cost: one load + comparison.
+        rec = active_recorder()
+        started = time.perf_counter() if rec is not None else 0.0
         key = self._cache_key(links, target_list, params)
         cached = self._cache_get(key)
         if cached is not None:
+            if rec is not None:
+                rec.record_timed(
+                    "engine.serve",
+                    time.perf_counter() - started,
+                    engine=self.engine_label,
+                    backend=params.backend,
+                    cache="hit",
+                    epoch=self._epoch,
+                )
             return {t: float(s) for t, s in zip(target_list, cached)}
         missing = [e for e in links if e not in self._index]
         if missing:
             raise NodeNotFoundError(missing[0])
         target_idx = self._target_indices(target_list)
+        result: "PropagationResult | None" = None
         if getattr(backend, "uses_out_matrix", False):
-            vector = self._serve_push(links, target_idx, params, backend, key)
+            result = self._serve_push(links, target_idx, params, backend, key)
+            vector = result.scores
         elif getattr(backend, "supports_matrix", False):
             vector = self._propagate_one(links, target_idx, params, backend)
             self._cache_put(key, vector)
@@ -1133,6 +1212,27 @@ class SimilarityEngine:
                 f"use the graph-level API (repro.similarity.backend."
                 f"get_backend({params.backend!r}).scores(...)) instead"
             )
+        if rec is not None:
+            if result is not None:
+                rec.record_timed(
+                    "engine.serve",
+                    time.perf_counter() - started,
+                    engine=self.engine_label,
+                    backend=params.backend,
+                    cache="miss",
+                    epoch=self._epoch,
+                    edges_touched=int(result.edges_touched),
+                    error_bound=float(result.error_bound),
+                )
+            else:
+                rec.record_timed(
+                    "engine.serve",
+                    time.perf_counter() - started,
+                    engine=self.engine_label,
+                    backend=params.backend,
+                    cache="miss",
+                    epoch=self._epoch,
+                )
         return {t: float(s) for t, s in zip(target_list, vector)}
 
     def scores_for_query(
@@ -1165,6 +1265,8 @@ class SimilarityEngine:
             return {}
         self._m_batch_serves.inc()
         self._flush()
+        rec = active_recorder()
+        started = time.perf_counter() if rec is not None else 0.0
         links_by_query = {q: self._seed_links(q) for q in query_list}
         results: dict[Node, dict[Node, float]] = {}
         pending: list[Node] = []
@@ -1191,7 +1293,7 @@ class SimilarityEngine:
                 # Push localizes per query; there is no shared dense
                 # block to stack, so batch = a loop of local pushes.
                 for query in pending:
-                    vector = self._serve_push(
+                    push_result = self._serve_push(
                         links_by_query[query],
                         target_idx,
                         params,
@@ -1199,7 +1301,8 @@ class SimilarityEngine:
                         keys[query],
                     )
                     results[query] = {
-                        t: float(s) for t, s in zip(target_list, vector)
+                        t: float(s)
+                        for t, s in zip(target_list, push_result.scores)
                     }
             elif getattr(backend, "supports_matrix", False) and hasattr(
                 backend, "propagate_batch"
@@ -1232,6 +1335,16 @@ class SimilarityEngine:
                     f"backend.get_backend({params.backend!r})"
                     f".scores_batch(...)) instead"
                 )
+        if rec is not None:
+            rec.record_timed(
+                "engine.serve_batch",
+                time.perf_counter() - started,
+                engine=self.engine_label,
+                backend=params.backend,
+                queries=len(query_list),
+                cache_hits=len(query_list) - len(pending),
+                epoch=self._epoch,
+            )
         return {q: results[q] for q in query_list}
 
     def top_k(

@@ -21,6 +21,8 @@ class TestParser:
             ["demo", "--seed", "3"],
             ["scaling", "--dataset", "twitter", "--votes", "4"],
             ["similarity", "--answers", "5", "10"],
+            ["diag", "some-bundle-dir"],
+            ["diag", "--metrics-json", "metrics.json"],
         ],
     )
     def test_known_commands_parse(self, argv):

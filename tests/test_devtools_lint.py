@@ -274,7 +274,9 @@ class TestEngine:
         assert [v.rule for v in violations] == ["R004"]
 
     def test_every_rule_has_a_description(self):
-        assert set(RULES) == {"R001", "R002", "R003", "R004", "R005", "R006"}
+        assert set(RULES) == {
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        }
         assert all(RULES.values())
 
 
@@ -300,3 +302,99 @@ class TestSelfCheck:
         assert main(["lint", str(dirty)]) == 1
         out = capsys.readouterr().out
         assert "R003" in out
+
+
+# ----------------------------------------------------------------------
+# R007: dead catalog entries (the inverse of R002)
+# ----------------------------------------------------------------------
+class TestR007:
+    @staticmethod
+    def _tree(tmp_path, source):
+        (tmp_path / "mod.py").write_text(textwrap.dedent(source))
+        return [tmp_path]
+
+    def test_phantom_metric_fires(self, tmp_path):
+        from repro.devtools.lint import find_dead_series
+
+        paths = self._tree(
+            tmp_path, 'registry.counter("qa_asks_total").inc()\n'
+        )
+        violations = find_dead_series(
+            paths,
+            metrics=["qa_asks_total", "phantom_series_total"],
+            spans=[],
+        )
+        assert [v.rule for v in violations] == ["R007"]
+        assert "phantom_series_total" in violations[0].message
+        assert violations[0].path.endswith("catalog.py")
+
+    def test_phantom_span_fires(self, tmp_path):
+        from repro.devtools.lint import find_dead_series
+
+        paths = self._tree(tmp_path, 'with trace_span("qa.ask"):\n    pass\n')
+        violations = find_dead_series(
+            paths, metrics=[], spans=["qa.ask", "ghost.span"]
+        )
+        assert [v.rule for v in violations] == ["R007"]
+        assert "ghost.span" in violations[0].message
+
+    def test_fully_emitted_catalog_is_clean(self, tmp_path):
+        from repro.devtools.lint import find_dead_series
+
+        paths = self._tree(
+            tmp_path,
+            '''
+            with trace_span("qa.ask"):
+                registry.counter("qa_asks_total").inc()
+                registry.gauge("engine_cache_entries").set(1)
+                registry.histogram("qa_ask_seconds").observe(0.1)
+            ''',
+        )
+        assert find_dead_series(
+            paths,
+            metrics=["qa_asks_total", "engine_cache_entries", "qa_ask_seconds"],
+            spans=["qa.ask"],
+        ) == []
+
+    def test_local_alias_idiom_counts_as_emitted(self, tmp_path):
+        from repro.devtools.lint import collect_emitted_names
+
+        paths = self._tree(
+            tmp_path,
+            '''
+            counter = registry.counter
+            counter("engine_serves_total", engine="0")
+            ''',
+        )
+        metrics, spans = collect_emitted_names(paths)
+        assert metrics == {"engine_serves_total"}
+        assert spans == set()
+
+    def test_dynamic_names_are_invisible(self, tmp_path):
+        from repro.devtools.lint import collect_emitted_names
+
+        paths = self._tree(
+            tmp_path, 'registry.counter(f"made_{kind}_total").inc()\n'
+        )
+        metrics, _ = collect_emitted_names(paths)
+        assert metrics == set()
+
+    def test_shipped_catalog_has_no_dead_series(self):
+        from repro.devtools.lint import find_dead_series
+
+        violations = find_dead_series(["src"])
+        assert violations == [], format_violations(violations)
+
+    def test_cli_lint_runs_r007(self, tmp_path, capsys):
+        from repro.cli import main
+
+        # A clean file emits nothing, so every catalog entry is dead
+        # from this tree's point of view — restricting to R007 must
+        # fail loudly rather than report "clean".
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean), "--rules", "R007"]) == 1
+        out = capsys.readouterr().out
+        assert "R007" in out
+        # And the shipped tree passes the same gate.
+        assert main(["lint", "src", "--rules", "R007"]) == 0

@@ -168,3 +168,194 @@ class TestExporters:
         snapshot = write_metrics_json(path, registry)
         assert json.loads(path.read_text()) == snapshot
         assert snapshot["c_total"] == 1
+
+
+class TestQuantiles:
+    """Bucket-interpolated quantiles and attainment on Histogram."""
+
+    def test_empty_histogram_is_nan(self, registry):
+        import math
+
+        h = registry.histogram("q_seconds", buckets=(0.1, 1.0))
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.fraction_le(0.2))
+
+    def test_out_of_range_quantile_rejected(self, registry):
+        h = registry.histogram("q_seconds", buckets=(0.1,))
+        h.observe(0.05)
+        for bad in (-0.1, 1.1):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+
+    def test_linear_interpolation_within_bucket(self, registry):
+        # 10 samples in (0.1, 0.2]: the median interpolates to the
+        # bucket midpoint, p100 to the bucket's upper bound.
+        h = registry.histogram("q_seconds", buckets=(0.1, 0.2, 0.4))
+        for _ in range(10):
+            h.observe(0.15)
+        assert h.quantile(0.5) == pytest.approx(0.15)
+        assert h.quantile(1.0) == pytest.approx(0.2)
+
+    def test_rank_in_inf_bucket_clamps_to_last_bound(self, registry):
+        h = registry.histogram("q_seconds", buckets=(0.1, 1.0))
+        for _ in range(10):
+            h.observe(50.0)
+        assert h.quantile(0.99) == pytest.approx(1.0)
+
+    def test_fraction_le_exact_on_bucket_bound(self, registry):
+        h = registry.histogram("q_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.fraction_le(0.1) == pytest.approx(0.5)  # le semantics
+        assert h.fraction_le(1.0) == pytest.approx(0.75)
+
+    def test_fraction_le_interpolates_inside_bucket(self, registry):
+        h = registry.histogram("q_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5):
+            h.observe(v)
+        # Halfway through the (0.1, 1.0] bucket: 0.5 + 0.5 * (0.45/0.9)
+        assert h.fraction_le(0.55) == pytest.approx(0.75)
+
+    def test_inf_samples_count_as_above_any_threshold(self, registry):
+        h = registry.histogram("q_seconds", buckets=(0.1,))
+        h.observe(0.05)
+        h.observe(99.0)
+        assert h.fraction_le(10.0) == pytest.approx(0.5)
+
+
+class TestPrometheusRoundTrip:
+    """Satellite: HELP/TYPE metadata + escaping, verified by a
+    hand-written parser of the exposition text."""
+
+    @staticmethod
+    def _parse(text):
+        """Minimal exposition parser: {name: {"type", "help", "samples"}}
+        with samples as {(sample_name, frozen labels): value}."""
+        families = {}
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                _, _, rest = line.partition("# HELP ")
+                name, _, help_text = rest.partition(" ")
+                help_text = (
+                    help_text.replace("\\n", "\n").replace("\\\\", "\\")
+                )
+                families.setdefault(name, {"samples": {}})["help"] = help_text
+            elif line.startswith("# TYPE "):
+                _, _, rest = line.partition("# TYPE ")
+                name, _, kind = rest.partition(" ")
+                families.setdefault(name, {"samples": {}})["type"] = kind
+            elif line:
+                if "{" in line:
+                    sample_name = line[: line.index("{")]
+                    inner = line[line.index("{") + 1 : line.rindex("}")]
+                    value = float(line[line.rindex("}") + 1 :])
+                    labels = {}
+                    for part in inner.split('",'):
+                        k, _, v = part.partition('="')
+                        v = v.rstrip('"')
+                        labels[k] = (
+                            v.replace("\\n", "\n")
+                            .replace('\\"', '"')
+                            .replace("\\\\", "\\")
+                        )
+                else:
+                    sample_name, _, raw = line.partition(" ")
+                    labels = {}
+                    value = float(raw)
+                family = sample_name
+                for suffix in ("_bucket", "_sum", "_count"):
+                    if family.endswith(suffix) and family[: -len(suffix)] in families:
+                        family = family[: -len(suffix)]
+                families[family]["samples"][
+                    (sample_name, frozenset(labels.items()))
+                ] = value
+        return families
+
+    def test_help_and_type_emitted_for_every_family(self, registry):
+        registry.counter("qa_asks_total").inc()
+        registry.gauge("engine_cache_entries", engine="0").set(4)
+        registry.histogram("qa_ask_seconds", buckets=(0.1,)).observe(0.05)
+        families = self._parse(metrics_to_prometheus(registry))
+        assert families["qa_asks_total"]["type"] == "counter"
+        assert families["engine_cache_entries"]["type"] == "gauge"
+        assert families["qa_ask_seconds"]["type"] == "histogram"
+        for family in families.values():
+            assert family["help"]  # never empty, catalog or generated
+
+    def test_catalog_help_text_is_used(self, registry):
+        from repro.obs.catalog import METRIC_HELP
+
+        registry.counter("qa_asks_total").inc()
+        families = self._parse(metrics_to_prometheus(registry))
+        assert families["qa_asks_total"]["help"] == METRIC_HELP["qa_asks_total"]
+
+    def test_label_values_escape_and_round_trip(self, registry):
+        nasty = 'back\\slash "quote"\nnewline'
+        registry.counter("qa_asks_total", source=nasty).inc(7)
+        text = metrics_to_prometheus(registry)
+        assert "\n" not in text.split("qa_asks_total{")[1].split("}")[0]
+        families = self._parse(text)
+        ((_, labels), value), = families["qa_asks_total"]["samples"].items()
+        assert dict(labels) == {"source": nasty}
+        assert value == 7
+
+    def test_histogram_samples_round_trip(self, registry):
+        h = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        families = self._parse(metrics_to_prometheus(registry))
+        samples = families["qa_ask_seconds"]["samples"]
+        assert samples[("qa_ask_seconds_bucket", frozenset({("le", "0.1")}))] == 1
+        assert samples[("qa_ask_seconds_bucket", frozenset({("le", "1")}))] == 2
+        assert samples[("qa_ask_seconds_bucket", frozenset({("le", "+Inf")}))] == 3
+        assert samples[("qa_ask_seconds_count", frozenset())] == 3
+
+
+class TestExporterEdgeCases:
+    """Satellite: zero-observation histograms and label-heavy registries
+    through summary_table / write_metrics_json."""
+
+    def test_zero_observation_histogram_summary(self, registry):
+        registry.histogram("lat_seconds", buckets=(0.1,))
+        registry.histogram("dev_magnitude", buckets=(0.1,))
+        table = summary_table(registry)
+        assert "n=0" in table  # no ZeroDivisionError on the mean
+        assert "lat_seconds" in table and "dev_magnitude" in table
+
+    def test_zero_observation_histogram_json_and_prometheus(
+        self, registry, tmp_path
+    ):
+        registry.histogram("lat_seconds", buckets=(0.1,))
+        snapshot = write_metrics_json(tmp_path / "m.json", registry)
+        assert snapshot["lat_seconds"] == {
+            "count": 0,
+            "sum": 0.0,
+            "buckets": {"0.1": 0, "+Inf": 0},
+        }
+        text = metrics_to_prometheus(registry)
+        assert 'lat_seconds_bucket{le="+Inf"} 0' in text
+        assert "lat_seconds_count 0" in text
+
+    def test_label_heavy_registry_summary_and_json(self, registry, tmp_path):
+        for engine in range(4):
+            for backend in ("dense", "push"):
+                registry.counter(
+                    "engine_serves_total",
+                    engine=str(engine),
+                    backend=backend,
+                ).inc(engine + 1)
+        registry.histogram(
+            "qa_ask_seconds", buckets=(0.1,), tenant="a", region="eu", op="ask"
+        ).observe(0.05)
+
+        table = summary_table(registry)
+        assert 'engine_serves_total{backend="dense",engine="3"}' in table
+        assert table.count("engine_serves_total") == 8
+
+        snapshot = write_metrics_json(tmp_path / "m.json", registry)
+        assert len(snapshot) == 9
+        # Series keys sort labels, so the snapshot is stable and the
+        # file parses back to exactly the snapshot.
+        key = 'qa_ask_seconds{op="ask",region="eu",tenant="a"}'
+        assert snapshot[key]["count"] == 1
+        assert json.loads((tmp_path / "m.json").read_text()) == snapshot

@@ -1,0 +1,201 @@
+"""Tests for the SLO watchdog (repro/obs/slo.py).
+
+The math under test: bucket-interpolated quantile estimates, attainment
+(interpolated fraction under the threshold), and error-budget burn —
+plus the watchdog's gauge publication and its breach-transition trigger
+into the flight recorder.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import (
+    LatencyObjective,
+    SLOWatchdog,
+    default_objectives,
+    evaluate_objective,
+    merge_histograms,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+ASK_P95 = LatencyObjective("ask-p95", "qa_ask_seconds", 0.95, 0.25)
+
+
+class TestObjective:
+    def test_quantile_must_be_strictly_inside_unit_interval(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                LatencyObjective("x", "qa_ask_seconds", bad, 0.25)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyObjective("x", "qa_ask_seconds", 0.95, 0.0)
+
+    def test_default_objectives_have_unique_names(self):
+        names = [o.name for o in default_objectives()]
+        assert len(set(names)) == len(names)
+
+
+class TestEvaluateObjective:
+    def test_empty_histogram_is_ungraded(self):
+        status = evaluate_objective(ASK_P95, (0.1, 1.0), [0, 0, 0])
+        assert status.count == 0
+        assert math.isnan(status.estimate)
+        assert math.isnan(status.attainment)
+        assert math.isnan(status.burn)
+        assert not status.breached
+
+    def test_all_fast_attains_fully(self):
+        # 100 samples all in the first bucket (≤ 0.1s) against a 0.25s
+        # threshold: the p95 estimate interpolates inside [0, 0.1].
+        status = evaluate_objective(ASK_P95, (0.1, 1.0), [100, 100, 100])
+        assert status.count == 100
+        assert status.estimate <= 0.1
+        assert status.attainment == pytest.approx(1.0)
+        assert status.burn == pytest.approx(0.0)
+        assert not status.breached
+
+    def test_slow_tail_breaches(self):
+        # 90 fast, 10 in (1.0, +Inf]: p95 lands past the last finite
+        # bound, estimate = 1.0s > 0.25s threshold.
+        status = evaluate_objective(ASK_P95, (0.1, 1.0), [90, 90, 100])
+        assert status.breached
+        assert status.estimate == pytest.approx(1.0)
+        # attainment: threshold 0.25 interpolates inside (0.1, 1.0].
+        assert 0.9 <= status.attainment < 1.0
+        assert status.burn == pytest.approx(
+            (1.0 - status.attainment) / 0.05, rel=1e-9
+        )
+
+    def test_burn_of_exactly_budgeted_tail_is_one(self):
+        # 95% ≤ threshold bucket bound, 5% above: burn = 0.05 / 0.05 = 1.
+        objective = LatencyObjective("x", "qa_ask_seconds", 0.95, 0.1)
+        status = evaluate_objective(objective, (0.1, 1.0), [95, 100, 100])
+        assert status.attainment == pytest.approx(0.95)
+        assert status.burn == pytest.approx(1.0)
+
+
+class TestMergeHistograms:
+    def test_empty_iterable_is_none(self):
+        assert merge_histograms([]) is None
+
+    def test_same_bounds_merge_counts(self, registry):
+        a = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0), op="a")
+        b = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0), op="b")
+        a.observe(0.05)
+        b.observe(0.5)
+        b.observe(2.0)
+        bounds, cumulative = merge_histograms([a, b])
+        assert bounds == (0.1, 1.0)
+        assert cumulative == [1, 2, 3]
+
+    def test_mismatched_bounds_skipped(self, registry):
+        a = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0), op="a")
+        odd = registry.histogram("lat_seconds", buckets=(0.5,))
+        a.observe(0.05)
+        odd.observe(0.4)
+        bounds, cumulative = merge_histograms([a, odd])
+        assert bounds == (0.1, 1.0)
+        assert cumulative == [1, 1, 1]  # the odd layout contributed nothing
+
+
+class TestWatchdog:
+    def test_duplicate_objective_names_rejected(self):
+        with pytest.raises(ValueError):
+            SLOWatchdog([ASK_P95, ASK_P95])
+
+    def test_no_data_publishes_no_gauges(self, registry):
+        watchdog = SLOWatchdog([ASK_P95], registry=registry)
+        (status,) = watchdog.check()
+        assert status.count == 0
+        assert "slo_attainment_ratio" not in str(sorted(registry.snapshot()))
+
+    def test_healthy_workload_sets_gauges(self, registry):
+        h = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0))
+        for _ in range(50):
+            h.observe(0.01)
+        watchdog = SLOWatchdog([ASK_P95], registry=registry)
+        (status,) = watchdog.check()
+        assert not status.breached
+        assert registry.gauge(
+            "slo_attainment_ratio", slo="ask-p95"
+        ).value == pytest.approx(1.0)
+        assert registry.gauge(
+            "slo_budget_burn", slo="ask-p95"
+        ).value == pytest.approx(0.0)
+        assert registry.gauge(
+            "slo_latency_estimate_seconds", slo="ask-p95"
+        ).value == status.estimate
+        assert registry.counter("slo_breaches_total", slo="ask-p95").value == 0
+
+    def test_breach_counts_and_triggers_once_per_transition(
+        self, registry, tmp_path
+    ):
+        h = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0))
+        for _ in range(10):
+            h.observe(5.0)  # everything lands past the threshold
+        recorder = FlightRecorder(
+            tmp_path / "flight", registry=registry, min_dump_interval=0.0
+        )
+        watchdog = SLOWatchdog([ASK_P95], registry=registry, recorder=recorder)
+
+        (first,) = watchdog.check()
+        (second,) = watchdog.check()
+        assert first.breached and second.breached
+        # The counter burns every poll while breached…
+        assert registry.counter("slo_breaches_total", slo="ask-p95").value == 2
+        # …but the bundle dumps only on the transition.
+        bundles = list((tmp_path / "flight").glob("flight-*-slo_breach"))
+        assert len(bundles) == 1
+        kinds = [e.kind for e in recorder.events()]
+        assert kinds.count("slo.breach") == 1
+
+    def test_recovery_rearms_the_transition_trigger(self, registry, tmp_path):
+        h = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0))
+        for _ in range(10):
+            h.observe(5.0)
+        recorder = FlightRecorder(
+            tmp_path / "flight", registry=registry, min_dump_interval=0.0
+        )
+        watchdog = SLOWatchdog([ASK_P95], registry=registry, recorder=recorder)
+        watchdog.check()  # breach #1 → bundle
+        # A flood of fast requests pulls the p95 estimate back under.
+        for _ in range(2000):
+            h.observe(0.01)
+        (healthy,) = watchdog.check()
+        assert not healthy.breached
+        for _ in range(50_000):
+            h.observe(5.0)
+        (rebreached,) = watchdog.check()
+        assert rebreached.breached
+        bundles = list((tmp_path / "flight").glob("flight-*-slo_breach"))
+        assert len(bundles) == 2
+
+
+class TestQuantileAccuracy:
+    def test_estimate_within_one_bucket_width_of_exact(self, registry):
+        # Seeded workload with uniform bucket widths: the interpolated
+        # estimate must land within one bucket width of the exact
+        # order-statistic quantile, for every graded quantile.
+        rng = np.random.default_rng(42)
+        samples = rng.gamma(shape=2.0, scale=0.05, size=2000)
+        width = 0.05
+        buckets = tuple(round(width * i, 10) for i in range(1, 21))  # 0.05..1.0
+        h = registry.histogram("qa_ask_seconds", buckets=buckets)
+        for s in samples:
+            h.observe(float(min(s, 0.99)))  # keep everything in finite buckets
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(np.minimum(samples, 0.99), q))
+            estimate = h.quantile(q)
+            assert abs(estimate - exact) <= width + 1e-9, (
+                f"q={q}: estimate {estimate:.4f} vs exact {exact:.4f}"
+            )

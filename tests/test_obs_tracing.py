@@ -243,3 +243,44 @@ class TestExport:
             for line in path.read_text().strip().splitlines()
         ]
         assert names == ["streamed", "inner"]
+
+
+class TestRingOverflowAccounting:
+    """Regression: silently evicting unread traces looked like a quiet
+    system; overflow must land on ``obs_traces_dropped_total``."""
+
+    def test_overflow_increments_drop_counter(self):
+        from repro.obs import MetricsRegistry, get_registry, set_registry
+        from repro.obs.tracing import TRACE_BUFFER_SIZE
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            set_trace_sampling(1)
+            for _ in range(TRACE_BUFFER_SIZE):
+                with trace_span("qa.ask"):
+                    pass
+            # Filling the ring exactly drops nothing…
+            assert registry.value("obs_traces_dropped_total") is None
+            for _ in range(3):
+                with trace_span("qa.ask"):
+                    pass
+            # …and each span past capacity evicts exactly one trace.
+            assert registry.value("obs_traces_dropped_total") == 3
+            assert len(recent_traces()) == TRACE_BUFFER_SIZE
+        finally:
+            set_registry(previous)
+
+    def test_no_drops_below_capacity(self):
+        from repro.obs import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        previous = set_registry(registry)
+        try:
+            set_trace_sampling(1)
+            for _ in range(5):
+                with trace_span("qa.ask"):
+                    pass
+            assert registry.value("obs_traces_dropped_total") is None
+        finally:
+            set_registry(previous)

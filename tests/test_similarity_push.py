@@ -483,7 +483,7 @@ class TestEnginePush:
             for step, (edge_pick, weight) in enumerate(
                 [(None, None)] + patches
             ):
-                if edge_pick is not None:
+                if edge_pick is not None and kg_edges:
                     tail, head = kg_edges[edge_pick % len(kg_edges)]
                     aug.graph.set_weight(tail, head, weight)
                 for query in queries:
