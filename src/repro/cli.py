@@ -401,11 +401,15 @@ def _cmd_recover(args) -> int:
 
 
 def _cmd_lint(args) -> int:
+    import json
+
     from repro.devtools.lint import (
+        GRAPH_RULES,
         RULES,
         find_dead_series,
         format_violations,
         lint_paths,
+        violations_to_json,
     )
 
     rules = None
@@ -423,6 +427,19 @@ def _cmd_lint(args) -> int:
     # inside the per-file visitor.
     if rules is None or "R007" in rules:
         violations.extend(find_dead_series(args.paths))
+    # R008-R011 need the call graph and shared-state registry; they run
+    # over the whole tree via the concurrency analyzer.
+    graph_rules = GRAPH_RULES if rules is None else rules & GRAPH_RULES
+    if graph_rules:
+        from repro.devtools.concurrency import find_concurrency_violations
+
+        violations.extend(
+            find_concurrency_violations(args.paths, rules=graph_rules)
+        )
+    violations.sort(key=lambda v: (v.path, v.line, v.rule, v.col))
+    if getattr(args, "format", "table") == "json":
+        _LOG.info(json.dumps(violations_to_json(violations), indent=2))
+        return 1 if violations else 0
     if violations:
         _LOG.info(format_violations(violations))
         _LOG.info(
@@ -432,6 +449,33 @@ def _cmd_lint(args) -> int:
         return 1
     _LOG.info(f"{len(args.paths)} path(s) clean")
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.devtools.concurrency import CONCURRENCY_RULES, analyze_paths
+
+    rules = None
+    if args.rules:
+        rules = set(args.rules)
+        unknown = rules - CONCURRENCY_RULES
+        if unknown:
+            raise ValueError(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"available: {', '.join(sorted(CONCURRENCY_RULES))}"
+            )
+    report = analyze_paths(args.paths, rules=rules)
+    payload = report.to_json()
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        _LOG.info(f"analysis report written to {args.output}")
+    if args.format == "json":
+        _LOG.info(json.dumps(payload, indent=2))
+    else:
+        _LOG.info(report.render())
+    return 1 if report.violations else 0
 
 
 def _cmd_diag(args) -> int:
@@ -533,7 +577,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=3)
 
     lint = sub.add_parser(
-        "lint", help="run the project's custom AST lint rules (R001-R007)"
+        "lint", help="run the project's custom AST lint rules (R001-R011)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -542,6 +586,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules", nargs="+", metavar="R00X", default=None,
         help="restrict the run to these rule ids (default: all)",
+    )
+    lint.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format (default: table)",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="concurrency-safety analysis: call graph, shared-state "
+             "inventory, serve-path purity (R008-R011)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    analyze.add_argument(
+        "--rules", nargs="+", metavar="R00X", default=None,
+        help="restrict findings to these rule ids (default: R008-R011)",
+    )
+    analyze.add_argument(
+        "--format", choices=["table", "json"], default="table",
+        help="output format (default: table)",
+    )
+    analyze.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="also write the full JSON report to PATH",
     )
 
     diag = sub.add_parser(
@@ -570,6 +640,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "recover": _cmd_recover,
     "lint": _cmd_lint,
+    "analyze": _cmd_analyze,
     "diag": _cmd_diag,
 }
 

@@ -19,7 +19,8 @@ Rule      What it rejects
           regression guard).
 ``R004``  Module-level or unseeded randomness: ``import random``,
           legacy ``np.random.<fn>()`` global-state calls, unseeded
-          ``np.random.default_rng()``, or any RNG construction at
+          ``default_rng()`` (attribute or from-import spelling), direct
+          ``Generator(...)`` construction, or any RNG construction at
           module import time — all outside ``utils/rng.py``.
 ``R005``  Raw ``time.time()`` timing where
           :class:`~repro.utils.timing.Stopwatch` exists — wall-clock
@@ -36,6 +37,20 @@ Rule      What it rejects
           declarations whose dashboards would flatline forever
           (a whole-tree check via :func:`find_dead_series`, reported
           against ``obs/catalog.py``).
+``R008``  A write to a :data:`repro.utils.sync.SHARED_STATE` attribute
+          outside its declared owner module / writers, or without the
+          declared ``lock:<name>`` guard lexically held (implemented in
+          :mod:`repro.devtools.concurrency`).
+``R009``  An ndarray stored into ``frozen``-guarded shared state (the
+          score cache) without a visible ``setflags(write=False)`` —
+          the static form of the writable-buffer cache-poison bug
+          (concurrency module).
+``R010``  Blocking I/O or a non-serve-safe guard acquisition reachable
+          from a ``@serve_path`` root, proven over the
+          :mod:`repro.devtools.callgraph` call graph (concurrency
+          module).
+``R011``  An epoch-keyed cache entry created or re-keyed outside the
+          declared revalidation APIs (concurrency module).
 ========  ==============================================================
 
 Suppression: append ``# noqa: R003`` (or a comma-separated rule list,
@@ -59,6 +74,7 @@ from repro.obs import catalog
 
 __all__ = [
     "RULES",
+    "GRAPH_RULES",
     "LintViolation",
     "lint_source",
     "lint_file",
@@ -66,6 +82,7 @@ __all__ = [
     "collect_emitted_names",
     "find_dead_series",
     "format_violations",
+    "violations_to_json",
 ]
 
 #: Rule id -> one-line description (the ``repro-kg lint --rules`` table).
@@ -92,7 +109,31 @@ RULES: dict[str, str] = {
         "every catalog-declared metric/span must be emitted somewhere in the "
         "linted tree (dead/phantom catalog entry guard — the inverse of R002)"
     ),
+    "R008": (
+        "writes to repro.utils.sync.SHARED_STATE attributes only in the "
+        "declared owner module (or declared writers) while holding the "
+        "declared guard"
+    ),
+    "R009": (
+        "ndarrays stored into frozen shared state (the score cache) must be "
+        "visibly frozen via setflags(write=False) — no writable buffer may "
+        "escape the engine boundary"
+    ),
+    "R010": (
+        "functions reachable from @serve_path roots must not call blocking "
+        "I/O (fsync, write-mode open, subprocess, sleep) or acquire "
+        "non-serve-safe guards"
+    ),
+    "R011": (
+        "epoch-keyed cache entries may only be created/re-keyed through the "
+        "declared revalidation APIs (rekey_apis in SHARED_STATE)"
+    ),
 }
+
+#: The rules implemented by :mod:`repro.devtools.concurrency` on top of
+#: the call graph; ``lint_paths`` handles the single-file AST rules and
+#: the CLI merges in these whole-tree checks.
+GRAPH_RULES = frozenset({"R008", "R009", "R010", "R011"})
 
 #: Files exempt from a rule because they *implement* the guarded API.
 _RULE_EXEMPT_FILES: dict[str, tuple[str, ...]] = {
@@ -158,6 +199,9 @@ class _RuleVisitor(ast.NodeVisitor):
         self._numpy_aliases: set[str] = set()
         self._time_aliases: set[str] = set()
         self._time_time_names: set[str] = set()
+        #: bound name -> original numpy.random factory name, for the
+        #: ``from numpy.random import default_rng`` forms of R004.
+        self._np_random_names: dict[str, str] = {}
 
     # -- helpers -------------------------------------------------------
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
@@ -210,6 +254,11 @@ class _RuleVisitor(ast.NodeVisitor):
                 "stdlib 'random' is unseeded global state; use "
                 "repro.utils.rng.ensure_rng instead",
             )
+        if node.module == "numpy.random" and node.level == 0:
+            for alias in node.names:
+                if alias.name in _SEEDED_RNG_FACTORIES:
+                    bound = alias.asname or alias.name
+                    self._np_random_names[bound] = alias.name
         if node.module == "time" and node.level == 0:
             for alias in node.names:
                 if alias.name == "time":
@@ -290,16 +339,30 @@ class _RuleVisitor(ast.NodeVisitor):
                 "raw time.time() timing; use utils.timing.Stopwatch / "
                 "time.perf_counter",
             )
-        # R004: np.random.* calls
+        # R004: np.random.* calls (attribute and from-import spellings)
+        rng_factory: str | None = None
         if isinstance(func, ast.Attribute) and self._is_np_random(func.value):
-            if func.attr not in _SEEDED_RNG_FACTORIES:
+            rng_factory = func.attr
+        elif isinstance(func, ast.Name) and func.id in self._np_random_names:
+            rng_factory = self._np_random_names[func.id]
+        if rng_factory is not None:
+            if rng_factory not in _SEEDED_RNG_FACTORIES:
                 self._emit(
                     "R004",
                     node,
-                    f"np.random.{func.attr}() drives unseeded global state; "
+                    f"np.random.{rng_factory}() drives unseeded global state; "
                     f"use repro.utils.rng.ensure_rng",
                 )
-            elif func.attr == "default_rng" and not (node.args or node.keywords):
+            elif rng_factory == "Generator":
+                self._emit(
+                    "R004",
+                    node,
+                    "direct Generator(...) construction bypasses seed "
+                    "threading; use repro.utils.rng.ensure_rng / spawn_rngs",
+                )
+            elif rng_factory == "default_rng" and not (
+                node.args or node.keywords
+            ):
                 self._emit(
                     "R004",
                     node,
@@ -310,7 +373,7 @@ class _RuleVisitor(ast.NodeVisitor):
                 self._emit(
                     "R004",
                     node,
-                    f"np.random.{func.attr}(...) at module level runs at "
+                    f"np.random.{rng_factory}(...) at module level runs at "
                     f"import time; construct RNGs inside functions",
                 )
         # R006: direct similarity-kernel calls outside similarity/
@@ -570,3 +633,23 @@ def format_violations(violations: Sequence[LintViolation]) -> str:
     lines = [violation.render() for violation in violations]
     lines.append(f"lint: {len(violations)} violation(s)")
     return "\n".join(lines)
+
+
+def violations_to_json(
+    violations: Sequence[LintViolation],
+) -> dict[str, object]:
+    """Machine-readable shape for ``repro-kg lint --format json``."""
+    return {
+        "clean": not violations,
+        "count": len(violations),
+        "violations": [
+            {
+                "rule": v.rule,
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+    }

@@ -10,10 +10,16 @@ get-or-create instrument handles.
 
 Design constraints, in order:
 
-- **hot-path cheap**: an increment is one Python attribute add on a
+- **hot-path cheap**: an increment is one locked attribute add on a
   pre-bound handle (callers bind ``registry.counter(...)`` once, at
   construction time, never per event); a histogram observation is one
   ``bisect`` into a precomputed bucket array;
+- **thread-safe by construction, not GIL luck**: registry get-or-create
+  runs under the registry lock, and every instrument mutation is a
+  read-modify-write guarded by a per-instrument ``threading.Lock`` —
+  the discipline is declared in :data:`repro.utils.sync.SHARED_STATE`
+  and enforced by rule R008 (``repro-kg analyze``), so the coming
+  optimizer thread can increment concurrently with the serve path;
 - **snapshot-able**: :meth:`MetricsRegistry.snapshot` returns a plain
   JSON-serializable dict, so exporters (JSONL, Prometheus text, console
   tables) never need to touch live instruments;
@@ -66,18 +72,20 @@ def _series_key(name: str, labels: Mapping[str, str]) -> str:
 class Counter:
     """A monotonically increasing count (events, hits, discards)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: Mapping[str, str]) -> None:
         self.name = name
         self.labels = dict(labels)
+        self._lock = threading.Lock()
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
         if amount < 0:
             raise ValueError(f"counter increment must be ≥ 0, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot_value(self) -> float:
         return self.value
@@ -86,21 +94,25 @@ class Counter:
 class Gauge:
     """A value that can go up and down (cache size, graph version)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "_lock")
 
     def __init__(self, name: str, labels: Mapping[str, str]) -> None:
         self.name = name
         self.labels = dict(labels)
+        self._lock = threading.Lock()
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot_value(self) -> float:
         return self.value
@@ -114,7 +126,7 @@ class Histogram:
     drops a sample.
     """
 
-    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count", "_lock")
 
     def __init__(
         self,
@@ -130,6 +142,7 @@ class Histogram:
         self.name = name
         self.labels = dict(labels)
         self.buckets = bounds
+        self._lock = threading.Lock()
         self.counts = [0] * (len(bounds) + 1)  # trailing +inf bucket
         self.sum = 0.0
         self.count = 0
@@ -137,15 +150,19 @@ class Histogram:
     def observe(self, value: float) -> None:
         """Record one sample (``le`` semantics: a sample exactly on a
         bucket bound counts inside that bucket)."""
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
 
     def cumulative_counts(self) -> list[int]:
         """Cumulative per-bucket counts (Prometheus ``le`` semantics)."""
+        with self._lock:
+            counts = list(self.counts)
         out: list[int] = []
         running = 0
-        for c in self.counts:
+        for c in counts:
             running += c
             out.append(running)
         return out

@@ -47,6 +47,7 @@ from time import perf_counter
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.tracing import recent_traces, trace_span
+from repro.utils.sync import serve_exempt
 
 __all__ = [
     "RecorderEvent",
@@ -184,6 +185,10 @@ class FlightRecorder:
     # ------------------------------------------------------------------
     # triggering and dumping
     # ------------------------------------------------------------------
+    @serve_exempt(
+        "failure-path diagnostics: a rate-limited, capped bundle dump is "
+        "an accepted serve-path cost when an anomaly seam fires"
+    )
     def trigger(self, reason: str, detail: str = "") -> "Path | None":
         """Request a dump; returns the bundle path or ``None`` if
         rate-limited / capped.  Never raises out of an instrumented
@@ -206,6 +211,7 @@ class FlightRecorder:
             logger.exception("flight recorder failed to write bundle (%s)", reason)
             return None
 
+    @serve_exempt("operator escape hatch: unconditional bundle write")
     def dump(self, reason: str = "manual", detail: str = "") -> Path:
         """Write a bundle unconditionally (no rate limit, no cap).
 

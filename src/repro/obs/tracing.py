@@ -20,7 +20,11 @@ Spans nest through a thread-local stack, so concurrently served threads
 get independent traces.  When the outermost span of a thread closes,
 the finished :class:`Trace` lands in a bounded ring buffer
 (:func:`recent_traces`) and is offered to any registered listeners —
-that is the hook the JSONL file exporter uses.
+that is the hook the JSONL file exporter uses.  The ring and the
+listener list are shared across threads and guarded by a real module
+lock (``_ring_lock``, declared in
+:data:`repro.utils.sync.SHARED_STATE`); listeners are invoked *outside*
+the lock so a slow exporter cannot stall other threads' span exits.
 
 The ambient API is deliberately tiny and cheap: opening a span costs a
 ``perf_counter`` call, a small object, and two list operations, so
@@ -104,17 +108,19 @@ class Span:
         stack.pop()
         if not stack:
             trace = Trace(self)
-            if len(_finished) == TRACE_BUFFER_SIZE:
-                # The ring is full: appending evicts the oldest trace
+            with _ring_lock:
+                dropped = len(_finished) == TRACE_BUFFER_SIZE
+                _finished.append(trace)
+                listeners = list(_listeners)
+            if dropped:
+                # The ring was full: appending evicted the oldest trace
                 # unread.  Deliberate (bounded memory), but accounted —
                 # a dashboard can tell "quiet" from "overwritten".
                 from repro.obs.metrics import get_registry
 
                 get_registry().counter("obs_traces_dropped_total").inc()
-            _finished.append(trace)
-            if _listeners:
-                for listener in list(_listeners):
-                    listener(trace)
+            for listener in listeners:
+                listener(trace)
         return False
 
     @property
@@ -235,6 +241,9 @@ def _jsonable(attrs: "dict[str, object]") -> "dict[str, object]":
 
 
 _local = threading.local()
+#: Guards the trace ring and the listener list — any thread's outermost
+#: span exit publishes into both, so GIL luck is not a discipline.
+_ring_lock = threading.Lock()
 _finished: deque[Trace] = deque(maxlen=TRACE_BUFFER_SIZE)
 _listeners: list[Callable[[Trace], None]] = []
 
@@ -343,13 +352,15 @@ def trace_span(name: str, **attrs) -> "Span | _NoopSpan":
 
 def recent_traces(n: "int | None" = None) -> list[Trace]:
     """The last ``n`` finished traces (all buffered ones by default)."""
-    traces = list(_finished)
+    with _ring_lock:
+        traces = list(_finished)
     return traces if n is None else traces[-n:]
 
 
 def last_trace() -> "Trace | None":
     """The most recently finished trace, or ``None``."""
-    return _finished[-1] if _finished else None
+    with _ring_lock:
+        return _finished[-1] if _finished else None
 
 
 def clear_traces() -> None:
@@ -359,15 +370,18 @@ def clear_traces() -> None:
     clear is traced" deterministic regardless of what ran before.
     """
     global _root_seen
-    _finished.clear()
+    with _ring_lock:
+        _finished.clear()
     _root_seen = 0
 
 
 def add_trace_listener(listener: Callable[[Trace], None]) -> None:
     """Call ``listener(trace)`` whenever a root span finishes."""
-    _listeners.append(listener)
+    with _ring_lock:
+        _listeners.append(listener)
 
 
 def remove_trace_listener(listener: Callable[[Trace], None]) -> None:
     """Detach a listener registered with :func:`add_trace_listener`."""
-    _listeners.remove(listener)
+    with _ring_lock:
+        _listeners.remove(listener)

@@ -41,6 +41,7 @@ from repro.graph.augmented import AugmentedGraph
 from repro.optimize.multi_vote import solve_multi_vote
 from repro.optimize.split_merge import solve_split_merge
 from repro.persistence import DurableStore, RecoveredState, WalRecord
+from repro.utils.sync import mutator
 from repro.votes.stream import CountPolicy
 from repro.votes.types import Vote, VoteSet
 
@@ -102,6 +103,7 @@ class OnlineOptimizer:
     engine: "SimilarityEngine | None" = None
     _pending_seqs: list[int] = field(default_factory=list, init=False, repr=False)
 
+    @mutator
     def submit(self, vote: Vote) -> "BatchOutcome | None":
         """Buffer one vote; optimize (and return the outcome) if due.
 
@@ -117,6 +119,7 @@ class OnlineOptimizer:
             return self.flush()
         return None
 
+    @mutator
     def flush(self) -> "BatchOutcome | None":
         """Optimize against all pending votes now (no-op when empty).
 

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import PersistenceError
+from repro.utils.sync import mutator
 from repro.graph.persistence import fsync_directory
 from repro.obs import MetricsRegistry, get_registry
 from repro.obs.recorder import active_recorder
@@ -251,6 +252,7 @@ class VoteWAL:
     # ------------------------------------------------------------------
     # the durability-critical operations
     # ------------------------------------------------------------------
+    @mutator
     def append(self, vote: Vote) -> int:
         """Durably log one vote; returns its sequence number.
 

@@ -38,6 +38,7 @@ from repro.qa.entities import EntityVocabulary
 from repro.serving.engine import DEFAULT_CACHE_SIZE, EngineStats, SimilarityEngine
 from repro.serving.params import SimilarityParams, resolve_similarity_params
 from repro.similarity.top_k import rank_answers
+from repro.utils.sync import mutator, serve_path
 from repro.votes.types import Vote, VoteSet
 
 __all__ = ["QASystem"]
@@ -206,6 +207,7 @@ class QASystem:
         self._shown[question_id] = tuple(answer for answer, _ in ranked)
         return [(str(answer), score) for answer, score in ranked]
 
+    @serve_path
     def ask(self, question: str, *, question_id: "str | None" = None) -> list[tuple[str, float]]:
         """Answer a question with a ranked top-k document list.
 
@@ -246,6 +248,7 @@ class QASystem:
             )
         return self._record_shown(question_id, ranked)
 
+    @serve_path
     def ask_many(
         self,
         questions: Mapping[str, str],
@@ -324,6 +327,7 @@ class QASystem:
             )
         return results
 
+    @mutator
     def vote(self, question_id: str, best_doc: str) -> Vote:
         """Record the user's vote for ``question_id``'s best document.
 
@@ -361,6 +365,7 @@ class QASystem:
     # ------------------------------------------------------------------
     # optimization
     # ------------------------------------------------------------------
+    @mutator
     def optimize(
         self,
         *,
@@ -464,6 +469,7 @@ class QASystem:
 
         save_augmented_graph(self._aug, path)
 
+    @mutator
     def restore(self, path: str) -> None:
         """Replace the live graph with one previously :meth:`persist`\\ ed.
 

@@ -83,6 +83,7 @@ from repro.serving.delta import (
     DeltaFallbackError,
 )
 from repro.serving.params import SimilarityParams, resolve_similarity_params
+from repro.utils.sync import mutator, serve_path
 from repro.similarity.backend import PropagationBackend, resolve_backend
 from repro.similarity.push import PropagationResult, amplification_bound
 
@@ -290,6 +291,7 @@ class SimilarityEngine:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @mutator
     def close(self) -> None:
         """Detach from the graph's mutation feed and drop caches."""
         self._aug.graph.remove_listener(self._listener)
@@ -352,6 +354,7 @@ class SimilarityEngine:
     # ------------------------------------------------------------------
     # mutation feed
     # ------------------------------------------------------------------
+    @mutator
     def _on_mutation(self, event: str, *args) -> None:
         # Buffered: events are coalesced and applied lazily at the next
         # serve, so a burst of optimizer updates costs one pass.
@@ -370,6 +373,7 @@ class SimilarityEngine:
             and not self._aug.is_entity(node)
         )
 
+    @mutator
     def _flush(self) -> None:
         """Apply buffered mutations to the cached matrix."""
         events, self._events = self._events, []
@@ -518,6 +522,7 @@ class SimilarityEngine:
             self._g_cache_entries.set(0)
         self._m_rebuilds_avoided.inc()
 
+    @mutator
     def revalidate(self) -> None:
         """Apply buffered graph mutations now, off the serve path.
 
@@ -532,6 +537,7 @@ class SimilarityEngine:
         """
         self._flush()
 
+    @mutator
     def _rekey_cache(self) -> None:
         """Carry every cached vector verbatim to the current epoch.
 
@@ -575,6 +581,7 @@ class SimilarityEngine:
             scores += factor * mass[target_idx]
         return scores
 
+    @mutator
     def _delta_revalidate(
         self,
         positions: np.ndarray,
@@ -777,22 +784,25 @@ class SimilarityEngine:
             push_rekeyed = rekeyed
         # Rebuild the cache in LRU order with new-epoch keys; entries
         # with no repair rule (dense after a fallback, failed re-pushes,
-        # unknown backends) simply fall out.
+        # unknown backends) simply fall out.  Every surviving vector
+        # funnels through the single freeze-then-store below, so the
+        # frozen-values invariant (R009) holds by construction.
         new_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         new_meta: dict[tuple, PropagationResult] = {}
         for key, vector in entries:
             new_key = key[:-1] + (self._epoch,)
             if key in corrected:
-                new_cache[new_key] = corrected[key]
+                vector = corrected[key]
             elif key in repushed:
                 result = repushed[key]
-                scores = result.scores
-                scores.setflags(write=False)
-                new_cache[new_key] = scores
+                vector = result.scores
                 new_meta[new_key] = result
             elif key in self._push_meta and key not in dropped:
-                new_cache[new_key] = vector
                 new_meta[new_key] = self._push_meta[key]
+            else:
+                continue
+            vector.setflags(write=False)
+            new_cache[new_key] = vector
         self._cache = new_cache
         self._push_meta = new_meta
         self._g_cache_entries.set(len(new_cache))
@@ -819,6 +829,7 @@ class SimilarityEngine:
                 )
         return True
 
+    @mutator
     def _rebuild(self) -> None:
         """Rebuild the base matrix from the live graph (the safe path).
 
@@ -873,6 +884,7 @@ class SimilarityEngine:
         self._m_builds.inc()
         self._h_build.observe(time.perf_counter() - started)
 
+    @mutator
     def _append_answer_rows(self, answers: Sequence[Node]) -> None:
         """Grow the matrix by one empty column + one in-link row per answer.
 
@@ -1011,6 +1023,7 @@ class SimilarityEngine:
         self._m_cache_hits.inc()
         return scores
 
+    @mutator
     def _cache_put(self, key: tuple, scores: np.ndarray) -> None:
         if not self._cache_size:
             return
@@ -1158,6 +1171,7 @@ class SimilarityEngine:
             self._push_meta[key] = result
         return result
 
+    @serve_path
     def scores(
         self,
         links: Mapping[Node, float],
@@ -1235,6 +1249,7 @@ class SimilarityEngine:
                 )
         return {t: float(s) for t, s in zip(target_list, vector)}
 
+    @serve_path
     def scores_for_query(
         self,
         query: Node,
@@ -1245,6 +1260,7 @@ class SimilarityEngine:
         """``Φ_L`` scores for an attached query node."""
         return self.scores(self._seed_links(query), targets, params=params)
 
+    @serve_path
     def score_batch(
         self,
         queries: Sequence[Node],
@@ -1347,6 +1363,7 @@ class SimilarityEngine:
             )
         return {q: results[q] for q in query_list}
 
+    @serve_path
     def top_k(
         self,
         query: Node,

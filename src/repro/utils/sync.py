@@ -1,0 +1,418 @@
+"""Concurrency annotation vocabulary: who may touch what, under which guard.
+
+The ROADMAP's next tentpole is a concurrent serve/optimize architecture
+(background optimizer thread, double-buffered matrix epochs, lock-free
+reads on the serve path).  Before any thread lands, every piece of
+cross-thread-visible state must be *declared*: where it lives, who owns
+it, and what discipline guards it.  This module is that declaration —
+a registry the static analyzer (:mod:`repro.devtools.concurrency`)
+checks the whole tree against, in the spirit of Clang's thread-safety
+annotations or Go's ``vet`` lock checks.
+
+Guard disciplines (the ``guard`` field grammar):
+
+``owner:<module>``
+    Writes may only occur in the owning module (and, for attributes,
+    inside the declaring class or a declared cross-module writer).
+    The single-writer discipline: the future optimizer thread is the
+    only mutator, readers see immutable snapshots.
+``lock:<name>``
+    Every write must be lexically inside ``with <holder>.<name>:`` (or
+    ``with <name>:`` for module-level locks) in the owning module.
+``gil-atomic``
+    A single bytecode-atomic operation (``deque.append``, one ``dict``
+    store, a plain rebind) in the owning module; safe today under the
+    GIL and documented as needing review for free-threaded builds.
+``frozen``
+    Ownership rules apply *and* every value stored must be a read-only
+    ndarray — callers must freeze with ``setflags(write=False)`` before
+    the store (rule R009; the PR 5 cache-poison bug, made impossible).
+
+Decorators (consumed by the analyzer, free at runtime):
+
+``@serve_path``
+    Marks a function as a serve-path root: everything reachable from it
+    must stay free of blocking I/O and of non-``serve_safe`` guard
+    acquisition (rule R010).
+``@mutator``
+    Marks a declared mutation entry point — the functions allowed to
+    restructure shared state.  Documentation for the reader and
+    inventory metadata for ``repro-kg analyze``.
+``@serve_exempt(reason)``
+    A declared reachability barrier: the analyzer does not descend into
+    the decorated function when walking the serve path.  Reserved for
+    failure-path diagnostics (e.g. the flight recorder's dump) whose
+    cost is accepted and audited; every use is listed in the analyze
+    report with its reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = [
+    "SharedState",
+    "SHARED_STATE",
+    "FROZEN_RETURNS",
+    "serve_path",
+    "mutator",
+    "serve_exempt",
+    "shared_state_by_attr",
+]
+
+F = TypeVar("F", bound=Callable)
+
+
+def serve_path(func: F) -> F:
+    """Mark ``func`` as a serve-path root for R010 reachability."""
+    func.__serve_path__ = True  # type: ignore[attr-defined]
+    return func
+
+
+def mutator(func: F) -> F:
+    """Mark ``func`` as a declared mutation entry point for shared state."""
+    func.__mutator__ = True  # type: ignore[attr-defined]
+    return func
+
+
+def serve_exempt(reason: str) -> Callable[[F], F]:
+    """Declare ``func`` a serve-path barrier (diagnostics-only cost)."""
+
+    def decorate(func: F) -> F:
+        func.__serve_exempt__ = reason  # type: ignore[attr-defined]
+        return func
+
+    return decorate
+
+
+@dataclass(frozen=True)
+class SharedState:
+    """One declared piece of cross-thread-visible state.
+
+    Parameters
+    ----------
+    name:
+        ``Class.attr`` for instance attributes, ``module_basename.name``
+        for module globals (``kind`` disambiguates).
+    owner:
+        Fully qualified owning module, e.g. ``repro.serving.engine``.
+    kind:
+        ``"attribute"`` (matched against ``obj.attr`` write sites) or
+        ``"module-global"`` (matched against bare-name sites in the
+        owning module).
+    guard:
+        Discipline string — see the module docstring for the grammar.
+    writers:
+        Extra declared cross-module writers as ``module:Class.method``
+        (the owning module is always allowed).
+    rekey_apis:
+        When non-empty, R011 applies: entries may only be created,
+        re-keyed, or rebound inside these methods of the owning class.
+    serve_safe:
+        For ``lock:`` guards only — acquisition is cheap and permitted
+        on the serve path (R010 flags acquisition of non-serve-safe
+        guards in serve-reachable code).
+    description:
+        Why this state is shared — rendered in the analyze inventory.
+    """
+
+    name: str
+    owner: str
+    guard: str
+    description: str
+    kind: str = "attribute"
+    writers: tuple = ()
+    rekey_apis: tuple = ()
+    serve_safe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("attribute", "module-global"):
+            raise ValueError(f"unknown shared-state kind: {self.kind!r}")
+        ok = self.guard in ("gil-atomic", "frozen") or self.guard.startswith(
+            ("lock:", "owner:")
+        )
+        if not ok:
+            raise ValueError(f"unknown guard discipline: {self.guard!r}")
+
+    @property
+    def cls(self) -> "str | None":
+        """Declaring class for attribute kind (``None`` for globals)."""
+        if self.kind != "attribute":
+            return None
+        return self.name.rsplit(".", 1)[0]
+
+    @property
+    def attr(self) -> str:
+        """The attribute / global name matched at write sites."""
+        return self.name.rsplit(".", 1)[1]
+
+    @property
+    def lock_name(self) -> "str | None":
+        """The lock attribute for ``lock:`` guards (else ``None``)."""
+        if self.guard.startswith("lock:"):
+            return self.guard.split(":", 1)[1]
+        return None
+
+
+# ----------------------------------------------------------------------
+# The inventory.  Every attribute here is visible across the future
+# serve/optimize thread boundary; the analyzer enforces the declared
+# discipline at every write site in the tree (rule R008, plus R009 for
+# ``frozen`` and R011 where ``rekey_apis`` is declared).
+# ----------------------------------------------------------------------
+SHARED_STATE: "tuple[SharedState, ...]" = (
+    # -- serving engine: the epoch-consistent read state -----------------
+    SharedState(
+        name="SimilarityEngine._matrix",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        rekey_apis=("__init__", "close", "_rebuild", "_append_answer_rows"),
+        description="dense truncated inverse-P-distance matrix; rebuilt "
+        "or row-appended only by the engine's own revalidation APIs",
+    ),
+    SharedState(
+        name="SimilarityEngine._index",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        rekey_apis=("__init__", "close", "_rebuild", "_append_answer_rows"),
+        description="answer-entity -> matrix-row map, versioned with _matrix",
+    ),
+    SharedState(
+        name="SimilarityEngine._pos",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        rekey_apis=("__init__", "close", "_rebuild", "_append_answer_rows"),
+        description="(entity, answer) -> CSR offset map for delta patches",
+    ),
+    SharedState(
+        name="SimilarityEngine._cache",
+        owner="repro.serving.engine",
+        guard="frozen",
+        rekey_apis=(
+            "__init__",
+            "close",
+            "_flush",
+            "_rekey_cache",
+            "_delta_revalidate",
+            "_cache_put",
+        ),
+        description="epoch-keyed score LRU; values are frozen ndarrays "
+        "(R009) and keys only change through declared revalidation APIs "
+        "(R011)",
+    ),
+    SharedState(
+        name="SimilarityEngine._push_meta",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        rekey_apis=(
+            "__init__",
+            "close",
+            "_flush",
+            "_rekey_cache",
+            "_delta_revalidate",
+            "_cache_put",
+            "_serve_push",
+        ),
+        description="push-backend residual metadata, keyed alongside _cache",
+    ),
+    SharedState(
+        name="SimilarityEngine._push_adj",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        description="push kernel adjacency snapshot for the current epoch",
+    ),
+    SharedState(
+        name="SimilarityEngine._push_map",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        description="push kernel node-id map for the current epoch",
+    ),
+    SharedState(
+        name="SimilarityEngine._push_rho",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        description="push kernel residual threshold for the current epoch",
+    ),
+    SharedState(
+        name="SimilarityEngine._epoch",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        rekey_apis=("__init__", "_flush", "_rebuild"),
+        description="monotonic revalidation epoch; cache keys embed it",
+    ),
+    SharedState(
+        name="SimilarityEngine._events",
+        owner="repro.serving.engine",
+        guard="gil-atomic",
+        description="buffered graph-mutation events awaiting revalidation "
+        "(list append / swap-and-drain)",
+    ),
+    SharedState(
+        name="SimilarityEngine.params",
+        owner="repro.serving.engine",
+        guard="owner:repro.serving.engine",
+        writers=("repro.qa.system:QASystem.params",),
+        description="similarity parameters; QASystem's params setter is "
+        "the declared cross-module writer (flushes on change)",
+    ),
+    # -- persistence: WAL sequence counter and replay buffer -------------
+    SharedState(
+        name="VoteWAL._last_seq",
+        owner="repro.persistence.wal",
+        guard="owner:repro.persistence.wal",
+        description="monotonic durable sequence counter (log before apply)",
+    ),
+    SharedState(
+        name="VoteWAL._records",
+        owner="repro.persistence.wal",
+        guard="owner:repro.persistence.wal",
+        description="in-memory mirror of the durable log for replay",
+    ),
+    # -- online optimizer: the vote queue the serve side feeds -----------
+    SharedState(
+        name="OnlineOptimizer.pending",
+        owner="repro.optimize.online",
+        guard="owner:repro.optimize.online",
+        description="buffered votes awaiting the next optimization batch",
+    ),
+    SharedState(
+        name="OnlineOptimizer._pending_seqs",
+        owner="repro.optimize.online",
+        guard="owner:repro.optimize.online",
+        description="WAL sequence numbers for the pending batch",
+    ),
+    SharedState(
+        name="OnlineOptimizer.history",
+        owner="repro.optimize.online",
+        guard="owner:repro.optimize.online",
+        description="per-batch outcome trajectory (append-only)",
+    ),
+    # -- observability: registries, rings, instruments -------------------
+    SharedState(
+        name="MetricsRegistry._metrics",
+        owner="repro.obs.metrics",
+        guard="lock:_lock",
+        serve_safe=True,
+        description="name -> instrument map; get-or-create under _lock",
+    ),
+    SharedState(
+        name="MetricsRegistry._types",
+        owner="repro.obs.metrics",
+        guard="lock:_lock",
+        serve_safe=True,
+        description="name -> instrument-type map, updated with _metrics",
+    ),
+    SharedState(
+        name="Counter.value",
+        owner="repro.obs.metrics",
+        guard="lock:_lock",
+        serve_safe=True,
+        description="counter total; += is a read-modify-write, locked",
+    ),
+    SharedState(
+        name="Gauge.value",
+        owner="repro.obs.metrics",
+        guard="lock:_lock",
+        serve_safe=True,
+        description="gauge level; inc/dec are read-modify-writes, locked",
+    ),
+    SharedState(
+        name="Histogram.counts",
+        owner="repro.obs.metrics",
+        guard="lock:_lock",
+        serve_safe=True,
+        description="per-bucket sample counts; observe() is a three-field "
+        "read-modify-write, locked",
+    ),
+    SharedState(
+        name="Histogram.sum",
+        owner="repro.obs.metrics",
+        guard="lock:_lock",
+        serve_safe=True,
+        description="running sample sum, updated with counts",
+    ),
+    SharedState(
+        name="Histogram.count",
+        owner="repro.obs.metrics",
+        guard="lock:_lock",
+        serve_safe=True,
+        description="total sample count, updated with counts",
+    ),
+    SharedState(
+        name="tracing._finished",
+        owner="repro.obs.tracing",
+        kind="module-global",
+        guard="lock:_ring_lock",
+        serve_safe=True,
+        description="bounded ring of completed root traces",
+    ),
+    SharedState(
+        name="tracing._listeners",
+        owner="repro.obs.tracing",
+        kind="module-global",
+        guard="lock:_ring_lock",
+        serve_safe=True,
+        description="trace-completion callbacks; mutated under the ring "
+        "lock, iterated over a copy",
+    ),
+    SharedState(
+        name="tracing._root_seen",
+        owner="repro.obs.tracing",
+        kind="module-global",
+        guard="gil-atomic",
+        description="root-span sampling counter; a lost increment only "
+        "shifts which span is sampled",
+    ),
+    SharedState(
+        name="tracing._sample_every",
+        owner="repro.obs.tracing",
+        kind="module-global",
+        guard="gil-atomic",
+        description="sampling modulus (single rebind in configure call)",
+    ),
+    SharedState(
+        name="FlightRecorder._events",
+        owner="repro.obs.recorder",
+        guard="gil-atomic",
+        description="bounded deque ring of flight events (single append; "
+        "dumps snapshot via list() copy)",
+    ),
+    SharedState(
+        name="FlightRecorder._dump_seq",
+        owner="repro.obs.recorder",
+        guard="lock:_dump_lock",
+        description="dump counter for the bundle cap / rate limit",
+    ),
+    SharedState(
+        name="FlightRecorder._last_dump_at",
+        owner="repro.obs.recorder",
+        guard="lock:_dump_lock",
+        description="monotonic timestamp of the newest bundle",
+    ),
+    SharedState(
+        name="recorder._active",
+        owner="repro.obs.recorder",
+        kind="module-global",
+        guard="gil-atomic",
+        description="process-wide armed recorder (plain rebind)",
+    ),
+)
+
+
+# Functions whose returned/yielded ndarrays cross the engine boundary
+# and must therefore be frozen (R009 checks their return/yield sites in
+# addition to every store into a ``frozen`` attribute).
+FROZEN_RETURNS: "tuple[str, ...]" = (
+    "repro.serving.engine:SimilarityEngine._cache_get",
+)
+
+
+def shared_state_by_attr(
+    states: "tuple[SharedState, ...] | None" = None,
+) -> "dict[str, list[SharedState]]":
+    """Index a registry by write-site attribute/global name."""
+    index: "dict[str, list[SharedState]]" = {}
+    for state in states if states is not None else SHARED_STATE:
+        index.setdefault(state.attr, []).append(state)
+    return index

@@ -128,6 +128,67 @@ class TestR004:
             """
         ) == []
 
+    def test_from_import_unseeded_default_rng_fires(self):
+        assert rules_of(
+            """
+            from numpy.random import default_rng
+
+            def f():
+                return default_rng()
+            """
+        ) == ["R004"]
+
+    def test_from_import_seeded_default_rng_clean(self):
+        assert rules_of(
+            """
+            from numpy.random import default_rng
+
+            def f(seed):
+                return default_rng(seed)
+            """
+        ) == []
+
+    def test_from_import_aliased_unseeded_fires(self):
+        assert rules_of(
+            """
+            from numpy.random import default_rng as mk
+
+            def f():
+                return mk()
+            """
+        ) == ["R004"]
+
+    def test_generator_construction_fires_attribute_form(self):
+        assert rules_of(
+            """
+            import numpy as np
+
+            def f(bitgen):
+                return np.random.Generator(bitgen)
+            """
+        ) == ["R004"]
+
+    def test_generator_construction_fires_from_import_form(self):
+        assert rules_of(
+            """
+            from numpy.random import Generator
+
+            def f(bitgen):
+                return Generator(bitgen)
+            """
+        ) == ["R004"]
+
+    def test_generator_annotation_clean(self):
+        # Type annotations mention Generator without constructing one.
+        assert rules_of(
+            """
+            import numpy as np
+
+            def f(rng: "np.random.Generator"):
+                return rng
+            """
+        ) == []
+
     def test_rng_module_is_exempt(self):
         assert (
             rules_of("import random\n", path="src/repro/utils/rng.py") == []
@@ -276,8 +337,36 @@ class TestEngine:
     def test_every_rule_has_a_description(self):
         assert set(RULES) == {
             "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R008", "R009", "R010", "R011",
         }
         assert all(RULES.values())
+
+    def test_graph_rules_are_declared_rules(self):
+        from repro.devtools.lint import GRAPH_RULES
+
+        assert GRAPH_RULES == {"R008", "R009", "R010", "R011"}
+        assert GRAPH_RULES <= set(RULES)
+
+    def test_violations_to_json_shape(self):
+        from repro.devtools.lint import violations_to_json
+
+        payload = violations_to_json(
+            [LintViolation("R003", "pkg/mod.py", 3, 0, "no print")]
+        )
+        assert payload["clean"] is False
+        assert payload["count"] == 1
+        assert payload["violations"][0] == {
+            "rule": "R003",
+            "path": "pkg/mod.py",
+            "line": 3,
+            "col": 0,
+            "message": "no print",
+        }
+        assert violations_to_json([]) == {
+            "clean": True,
+            "count": 0,
+            "violations": [],
+        }
 
 
 # ----------------------------------------------------------------------
@@ -302,6 +391,29 @@ class TestSelfCheck:
         assert main(["lint", str(dirty)]) == 1
         out = capsys.readouterr().out
         assert "R003" in out
+
+    def test_cli_lint_json_format(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("print('x')\n")
+        assert (
+            main(["lint", str(dirty), "--rules", "R003", "--format", "json"])
+            == 1
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["violations"][0]["rule"] == "R003"
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert (
+            main(["lint", str(clean), "--rules", "R003", "--format", "json"])
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == {"clean": True, "count": 0, "violations": []}
 
 
 # ----------------------------------------------------------------------
