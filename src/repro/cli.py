@@ -321,6 +321,13 @@ def _cmd_serve(args) -> int:
     from repro.persistence import DurableStore
     from repro.votes.stream import CountPolicy
 
+    if args.workers not in (0, 1):
+        _LOG.error(
+            f"--workers must be 0 (inline) or 1 (background worker); "
+            f"got {args.workers} — the supported topology is one serve "
+            f"thread plus one optimizer worker"
+        )
+        return 2
     deployed, votes = _stream_scenario(args.seed, args.votes)
     store = DurableStore(args.wal_dir)
     online = OnlineOptimizer.recover(
@@ -336,6 +343,8 @@ def _cmd_serve(args) -> int:
             f"{resumed_batches} batch(es), re-buffered {resumed_pending} "
             f"pending vote(s)"
         )
+    if args.workers:
+        return _serve_concurrent(args, online, store, votes)
     for vote in votes:
         online.submit(vote)
     _LOG.info(
@@ -350,6 +359,63 @@ def _cmd_serve(args) -> int:
         f"{len(online.pending)} vote(s) pending (durable in the WAL, "
         f"replayed on the next serve/recover); snapshots in {args.wal_dir}"
     )
+    store.close()
+    return 0
+
+
+def _serve_concurrent(args, online, store, votes) -> int:
+    """The ``serve --workers 1`` path: asks overlap the batch solves.
+
+    The recovered optimizer's state is adopted by a background
+    :class:`~repro.serving.worker.OptimizerWorker`; the main thread
+    plays the serve role, interleaving engine reads with vote
+    submissions while the worker solves batches on its shadow graph and
+    publishes them as atomic weight-patch epochs.
+    """
+    from repro.obs import get_registry
+    from repro.serving.engine import SimilarityEngine
+    from repro.serving.worker import OptimizerWorker
+
+    engine = SimilarityEngine(online.aug)
+    worker = OptimizerWorker.from_online(online, engine=engine)
+    queries = sorted(online.aug.query_nodes, key=repr)
+    served = 0
+    with worker:
+        for index, vote in enumerate(votes):
+            worker.submit(vote)
+            # Interleave serves with ingest so asks genuinely overlap
+            # the background solves.
+            for offset in range(3):
+                query = queries[(3 * index + offset) % len(queries)]
+                engine.top_k(query, k=6)
+                served += 1
+    _LOG.info(
+        format_table(
+            ["batch", "votes", "neg", "strategy", "Omega_avg", "changed", "time"],
+            _outcome_rows(worker.history),
+            title=(
+                f"concurrent serve session ({len(votes)} votes ingested, "
+                f"{served} asks served alongside)"
+            ),
+        )
+    )
+    registry = get_registry()
+    published = int(registry.counter("optimize_epochs_published_total").value)
+    blocked = int(registry.counter("optimize_ingest_blocked_total").value)
+    errors = int(registry.counter("optimize_worker_errors_total").value)
+    _LOG.info(
+        f"\nepochs published: {published}; ingest backpressure events: "
+        f"{blocked}; worker errors: {errors}; engine epoch: {engine.epoch}"
+    )
+    _LOG.info(
+        f"WAL last seq: {store.wal.last_seq}; "
+        f"{worker.pending_votes} vote(s) pending (durable in the WAL, "
+        f"replayed on the next serve/recover); snapshots in {args.wal_dir}"
+    )
+    if worker.last_error is not None:
+        _LOG.error(f"worker saw an error: {worker.last_error}")
+        store.close()
+        return 1
     store.close()
     return 0
 
@@ -549,6 +615,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=5,
                        help="CountPolicy batch size (use the same value "
                             "when recovering)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="0 = solve batches inline on the serve thread "
+                            "(default); 1 = solve on a background optimizer "
+                            "worker that publishes atomic weight-patch "
+                            "epochs while asks keep being served")
 
     rec = sub.add_parser(
         "recover",

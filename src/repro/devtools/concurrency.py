@@ -316,9 +316,7 @@ class _Analyzer:
             for s in states
             if s.lock_name is not None and not s.serve_safe
         }
-        self.frozen_attrs = {
-            s.attr for s in states if s.guard == "frozen"
-        }
+        self.frozen_attrs = {s.attr for s in states if s.frozen}
 
     def run(self) -> None:
         for mod in self.graph.modules.values():

@@ -101,6 +101,15 @@ class InfeasibleVoteError(VoteError):
     """
 
 
+class WorkerError(ReproError):
+    """Raised for concurrent-serving lifecycle misuse.
+
+    Covers submitting to a closed ingest queue, a ``put`` that timed
+    out against sustained backpressure, and starting/stopping the
+    background optimizer worker out of order.
+    """
+
+
 class ClusteringError(ReproError):
     """Raised when vote clustering cannot be carried out."""
 

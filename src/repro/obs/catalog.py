@@ -88,6 +88,11 @@ COUNTERS: frozenset[str] = frozenset(
         "engine_push_serves_total",
         "engine_push_repushes_total",
         "engine_push_rekeys_total",
+        # cache inserts computed against an epoch that a concurrent
+        # publish already superseded — dropped instead of stored, so a
+        # stale-basis score can never be delta-corrected into a live
+        # epoch (repro/serving/engine.py)
+        "engine_stale_cache_drops_total",
         # QA front end (repro/qa/system.py)
         "qa_asks_total",
         "qa_votes_total",
@@ -100,6 +105,11 @@ COUNTERS: frozenset[str] = frozenset(
         # optimization drivers (repro/optimize/report.py)
         "optimize_runs_total",
         "optimize_changed_edges_total",
+        # concurrent ingest / background worker (repro/serving/worker.py)
+        "optimize_ingest_votes_total",
+        "optimize_ingest_blocked_total",
+        "optimize_epochs_published_total",
+        "optimize_worker_errors_total",
         # feasibility judgment (repro/votes/feasibility.py)
         "votes_feasible_total",
         "votes_infeasible_total",
@@ -133,6 +143,13 @@ GAUGES: frozenset[str] = frozenset(
         # snapshot is — the two numbers a recovery-time estimate needs.
         "wal_lag_records",
         "snapshot_age_seconds",
+        # concurrent ingest backpressure / staleness (repro/serving/worker.py):
+        # votes parked in the ingest queue, total votes the worker has
+        # not yet folded into a published epoch, and the age of the
+        # oldest queued vote
+        "optimize_queue_depth",
+        "optimize_worker_lag_votes",
+        "optimize_worker_lag_seconds",
         # SLO watchdog (repro/obs/slo.py), one series per objective
         "slo_attainment_ratio",
         "slo_budget_burn",
@@ -156,6 +173,9 @@ HISTOGRAMS: frozenset[str] = frozenset(
         "wal_append_seconds",
         "snapshot_write_seconds",
         "snapshot_recover_seconds",
+        # wall-clock cost of one atomic weight-patch publication (live
+        # graph apply + engine flush under the state lock)
+        "optimize_epoch_publish_seconds",
     }
 )
 
@@ -187,6 +207,7 @@ SPANS: frozenset[str] = frozenset(
         "optimize.vote",
         "optimize.cluster",
         "optimize.solve_clusters",
+        "optimize.publish",
         # votes / evaluation
         "votes.feasibility_filter",
         "eval.test_set",
@@ -236,6 +257,38 @@ METRIC_HELP: dict[str, str] = {
     "engine_push_repushes_total": (
         "Cached push entries recomputed because an optimizer patch "
         "touched their frontier."
+    ),
+    "engine_stale_cache_drops_total": (
+        "Cache inserts dropped because their basis epoch was superseded "
+        "by a concurrent publish before the store."
+    ),
+    "optimize_ingest_votes_total": (
+        "Votes accepted by the concurrent ingest path (logged and "
+        "enqueued for the background optimizer worker)."
+    ),
+    "optimize_ingest_blocked_total": (
+        "Ingest submissions that hit a full vote queue and had to wait "
+        "(backpressure events)."
+    ),
+    "optimize_epochs_published_total": (
+        "Weight-patch epochs the background worker published atomically "
+        "to the serving engine."
+    ),
+    "optimize_worker_errors_total": (
+        "Exceptions swallowed by the background optimizer worker loop "
+        "(the failed batch stays buffered for retry)."
+    ),
+    "optimize_epoch_publish_seconds": (
+        "Latency of one atomic epoch publication: live-graph weight "
+        "apply plus engine flush under the state lock."
+    ),
+    "optimize_queue_depth": "Votes currently parked in the ingest queue.",
+    "optimize_worker_lag_votes": (
+        "Ingested votes not yet folded into a published epoch (queue "
+        "depth plus the worker's pending buffer)."
+    ),
+    "optimize_worker_lag_seconds": (
+        "Age of the oldest vote still waiting in the ingest queue."
     ),
     "qa_ask_seconds": "End-to-end ask() latency.",
     "qa_asks_total": "Questions served by the QA front end.",

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.obs.metrics import (
     Histogram,
@@ -104,7 +104,14 @@ def evaluate_objective(
         )
     estimate = estimate_quantile(bounds, cumulative, objective.quantile)
     attainment = fraction_at_or_below(bounds, cumulative, objective.threshold)
-    burn = (1.0 - attainment) / (1.0 - objective.quantile)
+    budget = 1.0 - objective.quantile
+    if budget <= 0.0:
+        # An objective asymptotically close to p100 has no error budget
+        # left to divide by: full attainment burns nothing, anything
+        # less burns infinitely fast.
+        burn = 0.0 if attainment >= 1.0 else math.inf
+    else:
+        burn = (1.0 - attainment) / budget
     return SLOStatus(
         objective=objective,
         count=total,
@@ -157,10 +164,22 @@ class SLOWatchdog:
     """Evaluates objectives against the live registry; the breach trigger.
 
     Call :meth:`check` periodically (the CLI does at end of run; a
-    service would on a timer).  Gauges are refreshed every check; the
-    breach counter and the flight-recorder trigger fire only on the
-    not-breached → breached *transition*, so a persistent breach dumps
-    one bundle, not one per poll.
+    service would on a timer).  Each check grades the **interval** since
+    the previous one: the watchdog keeps a per-objective snapshot of the
+    merged cumulative bucket counts and evaluates the elementwise delta,
+    so a long healthy history can no longer dilute a fresh latency
+    regression out of the estimate (a histogram carrying a million fast
+    samples would otherwise hide minutes of breached traffic).  The
+    first check, and any check after a counter reset (negative delta —
+    a replaced registry), grades the full cumulative data.  A check
+    that saw *no* new samples carries the previous verdict forward: a
+    standing breach keeps burning the counter, but gauges keep their
+    last real values and no new transition fires.
+
+    Gauges are refreshed every non-empty check; the breach counter
+    increments every breached check; the flight-recorder trigger fires
+    only on the not-breached → breached *transition*, so a persistent
+    breach dumps one bundle, not one per poll.
     """
 
     def __init__(
@@ -179,12 +198,36 @@ class SLOWatchdog:
         self._registry = registry
         self._recorder = recorder
         self._was_breached: dict[str, bool] = {}
+        # Per-objective snapshot of the merged cumulative bucket counts
+        # at the previous check; the next check grades the delta.
+        self._prev_counts: dict[str, tuple[tuple[float, ...], tuple[int, ...]]] = {}
 
     def _resolve_registry(self) -> MetricsRegistry:
         return self._registry if self._registry is not None else get_registry()
 
     def _resolve_recorder(self) -> "FlightRecorder | None":
         return self._recorder if self._recorder is not None else active_recorder()
+
+    def _interval_window(
+        self,
+        name: str,
+        bounds: "tuple[float, ...]",
+        cumulative: "list[int]",
+    ) -> "list[int]":
+        """Bucket counts observed since the previous check of ``name``.
+
+        Falls back to the full cumulative data on the first check, on a
+        bucket-layout change, and on a counter reset (any negative
+        elementwise delta — a replaced registry starts from zero).
+        """
+        prev = self._prev_counts.get(name)
+        self._prev_counts[name] = (bounds, tuple(cumulative))
+        if prev is None or prev[0] != bounds:
+            return cumulative
+        deltas = [c - p for c, p in zip(cumulative, prev[1])]
+        if any(d < 0 for d in deltas):
+            return cumulative
+        return deltas
 
     def check(self) -> list[SLOStatus]:
         """Grade every objective; refresh gauges; trigger on new breaches."""
@@ -197,12 +240,26 @@ class SLOWatchdog:
         statuses: list[SLOStatus] = []
         for objective in self.objectives:
             merged = merge_histograms(by_metric.get(objective.metric, []))
+            label = {"slo": objective.name}
             if merged is None:
                 status = evaluate_objective(objective, (), [0])
             else:
-                status = evaluate_objective(objective, merged[0], merged[1])
+                window = self._interval_window(
+                    objective.name, merged[0], merged[1]
+                )
+                status = evaluate_objective(objective, merged[0], window)
+                if status.count == 0 and self._was_breached.get(
+                    objective.name, False
+                ):
+                    # No traffic since the previous check — nothing to
+                    # re-grade, so the standing breach carries forward:
+                    # the counter keeps burning, gauges keep their last
+                    # real values, and no new transition fires.
+                    status = replace(status, breached=True)
+                    statuses.append(status)
+                    registry.counter("slo_breaches_total", **label).inc()
+                    continue
             statuses.append(status)
-            label = {"slo": objective.name}
             if status.count:
                 registry.gauge("slo_attainment_ratio", **label).set(status.attainment)
                 registry.gauge("slo_budget_burn", **label).set(status.burn)

@@ -51,7 +51,15 @@ if TYPE_CHECKING:  # annotation only; the engine is passed in, never built
 
 @dataclass
 class BatchOutcome:
-    """One optimization pass over one batch of streamed votes."""
+    """One optimization pass over one batch of streamed votes.
+
+    ``edge_keys`` lists the ``(head, tail)`` knowledge-graph edges the
+    solve changed — the optimizer worker reads the solved weights for
+    exactly these keys off its shadow graph when publishing a patch
+    epoch.  ``last_seq`` is the newest WAL sequence the batch covered
+    (``None`` when the batch carried no tracked sequences), the mark a
+    post-publish checkpoint rotates the WAL up to.
+    """
 
     batch_index: int
     num_votes: int
@@ -60,6 +68,8 @@ class BatchOutcome:
     omega_avg: float
     elapsed: float
     changed_edges: int
+    edge_keys: tuple = ()
+    last_seq: "int | None" = None
 
 
 @dataclass
@@ -108,13 +118,44 @@ class OnlineOptimizer:
         """Buffer one vote; optimize (and return the outcome) if due.
 
         In durable mode the vote is fsynced to the WAL *before* it is
-        buffered: once ``submit`` returns, no crash can lose it.
+        buffered: once ``submit`` returns, no crash can lose it.  The
+        sequence number is tracked only after the buffer accepted the
+        vote — a vote the buffer rejects (a deduplicating or validating
+        :class:`~repro.votes.types.VoteSet` subclass) stays in the WAL
+        but never in ``_pending_seqs``, so a later checkpoint cannot
+        stamp a snapshot with a sequence that was never applied.
+        Recovery replays the logged vote into the same buffer, which
+        rejects it the same way — rejected votes are dropped for good,
+        never resurrected.
         """
         if not isinstance(vote, Vote):
             raise VoteError(f"expected a Vote, got {type(vote).__name__}")
         if self.store is not None:
-            self._pending_seqs.append(self.store.log_vote(vote))
+            seq = self.store.log_vote(vote)
+            self.pending.add(vote)
+            self._pending_seqs.append(seq)
+        else:
+            self.pending.add(vote)
+        if self.policy.should_optimize(self.pending):
+            return self.flush()
+        return None
+
+    @mutator
+    def buffer(self, vote: Vote, *, seq: "int | None" = None) -> "BatchOutcome | None":
+        """Buffer one *already-durable* vote; optimize if due.
+
+        The concurrent ingest path (:class:`repro.serving.worker.OptimizerWorker`)
+        logs votes to the WAL on the caller's thread — log before
+        enqueue — and hands the assigned sequence over here, so nothing
+        is re-logged.  Seqs and pending votes stay in lockstep exactly
+        as in :meth:`submit`: the seq is tracked only once the buffer
+        accepted the vote.
+        """
+        if not isinstance(vote, Vote):
+            raise VoteError(f"expected a Vote, got {type(vote).__name__}")
         self.pending.add(vote)
+        if seq is not None:
+            self._pending_seqs.append(seq)
         if self.policy.should_optimize(self.pending):
             return self.flush()
         return None
@@ -183,6 +224,8 @@ class OnlineOptimizer:
             omega_avg=vote_omega_avg(self.aug, batch),
             elapsed=run.elapsed,
             changed_edges=changed,
+            edge_keys=tuple(run.changed_edges),
+            last_seq=max(batch_seqs) if batch_seqs else None,
         )
         self.history.append(outcome)
         return outcome
@@ -256,8 +299,24 @@ class OnlineOptimizer:
         with trace_span("wal.replay") as span:
             batches_before = len(self.history)
             for record in records:
+                if record.links is not None and not self.aug.is_query(
+                    record.vote.query
+                ):
+                    # A tail vote's query can postdate every snapshot
+                    # (the concurrent ingest path logs votes for
+                    # serve-time query nodes); re-attach it from the
+                    # logged links so the replayed solve sees the same
+                    # constraint graph the live run did.
+                    self.aug.add_query(record.vote.query, dict(record.links))
+                try:
+                    self.pending.add(record.vote)
+                except VoteError:
+                    # The live run logged this vote and then had the
+                    # buffer reject it; replay rejects it identically
+                    # and must not track its seq (lockstep with
+                    # submit()).
+                    continue
                 self._pending_seqs.append(record.seq)
-                self.pending.add(record.vote)
                 if self.policy.should_optimize(self.pending):
                     self.flush()
             if span.recording:
@@ -265,6 +324,16 @@ class OnlineOptimizer:
                     records=len(records),
                     batches_fired=len(self.history) - batches_before,
                 )
+
+    @property
+    def pending_seqs(self) -> tuple[int, ...]:
+        """WAL sequences of the pending votes, in buffer order.
+
+        Stays in lockstep with ``pending`` in durable mode; empty when
+        no store is attached.  The optimizer worker reads this when it
+        adopts a recovered optimizer's un-flushed buffer.
+        """
+        return tuple(self._pending_seqs)
 
     @property
     def total_votes_processed(self) -> int:

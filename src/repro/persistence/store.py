@@ -132,9 +132,19 @@ class DurableStore:
         """The store's root directory."""
         return self._directory
 
-    def log_vote(self, vote: Vote) -> int:
-        """Durably append one vote; returns its WAL sequence number."""
-        seq = self.wal.append(vote)
+    def log_vote(
+        self,
+        vote: Vote,
+        *,
+        links: "tuple[tuple, ...] | None" = None,
+    ) -> int:
+        """Durably append one vote; returns its WAL sequence number.
+
+        ``links`` optionally records the voted query's out-link mapping
+        with the record (see :class:`~repro.persistence.wal.WalRecord`)
+        so recovery can re-attach queries a snapshot never saw.
+        """
+        seq = self.wal.append(vote, links=links)
         self._g_wal_lag.set(max(0, seq - self.snapshots.newest_seq()))
         return seq
 

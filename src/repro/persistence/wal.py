@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import logging
 import os
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -98,10 +99,41 @@ def vote_from_payload(payload: dict) -> Vote:
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One durable vote: its sequence number and the vote itself."""
+    """One durable vote: its sequence number and the vote itself.
+
+    ``links`` optionally captures the voted query's out-link mapping
+    (``((entity, weight), ...)``) at submit time.  The concurrent
+    ingest path records it so recovery can re-attach tail-vote queries
+    to the graph before replaying them — a vote logged just before a
+    crash may reference a query node no snapshot ever saw.  Plain
+    single-threaded submits leave it ``None``; old logs parse fine.
+    """
 
     seq: int
     vote: Vote
+    links: "tuple[tuple, ...] | None" = None
+
+
+def _record_payload(record: WalRecord) -> dict:
+    """A record as the JSON payload written to the log."""
+    payload: dict = {
+        "seq": record.seq,
+        "vote": vote_to_payload(record.vote),
+    }
+    if record.links is not None:
+        payload["links"] = [
+            [entity, weight] for entity, weight in record.links
+        ]
+    return payload
+
+
+def _record_line(record: WalRecord) -> bytes:
+    return (
+        json.dumps(
+            _record_payload(record), separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        + b"\n"
+    )
 
 
 def _parse_record(line: bytes, *, path: Path, line_no: int) -> WalRecord:
@@ -120,7 +152,22 @@ def _parse_record(line: bytes, *, path: Path, line_no: int) -> WalRecord:
         raise PersistenceError(
             f"{path}:{line_no}: corrupt WAL record (bad sequence {seq!r})"
         )
-    return WalRecord(seq=seq, vote=vote_from_payload(payload["vote"]))
+    links = payload.get("links")
+    parsed_links: "tuple[tuple, ...] | None" = None
+    if links is not None:
+        try:
+            parsed_links = tuple(
+                (entity, float(weight)) for entity, weight in links
+            )
+        except (TypeError, ValueError) as exc:
+            raise PersistenceError(
+                f"{path}:{line_no}: corrupt WAL record (bad links)"
+            ) from exc
+    return WalRecord(
+        seq=seq,
+        vote=vote_from_payload(payload["vote"]),
+        links=parsed_links,
+    )
 
 
 def _scan(path: Path) -> tuple[list[WalRecord], int, int]:
@@ -192,6 +239,10 @@ class VoteWAL:
     ) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        # Serializes the ingest thread's append against the optimizer
+        # worker's rotate: both touch the file handle, the in-memory
+        # record mirror, and the sequence counter.
+        self._wal_lock = threading.Lock()
         self.registry = registry if registry is not None else get_registry()
         self._m_appends = self.registry.counter("wal_appends_total")
         self._m_rotations = self.registry.counter("wal_rotations_total")
@@ -242,9 +293,10 @@ class VoteWAL:
         """
         if seq < 0:
             raise PersistenceError(f"sequence floor must be ≥ 0, got {seq}")
-        if seq > self._last_seq:
-            self._last_seq = seq
-            self._g_last_seq.set(seq)
+        with self._wal_lock:
+            if seq > self._last_seq:
+                self._last_seq = seq
+                self._g_last_seq.set(seq)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -253,28 +305,35 @@ class VoteWAL:
     # the durability-critical operations
     # ------------------------------------------------------------------
     @mutator
-    def append(self, vote: Vote) -> int:
+    def append(
+        self,
+        vote: Vote,
+        *,
+        links: "tuple[tuple, ...] | None" = None,
+    ) -> int:
         """Durably log one vote; returns its sequence number.
 
         The record is written, flushed, and **fsynced** before this
         method returns — once the caller sees the sequence number, no
-        crash can lose the vote.
+        crash can lose the vote.  ``links`` optionally records the
+        voted query's out-link mapping so recovery can re-attach the
+        query before replaying (the concurrent ingest path's
+        log-before-enqueue contract).
         """
-        if self._file.closed:
-            raise PersistenceError(f"{self._path}: WAL is closed")
+        if links is not None:
+            for entity, _weight in links:
+                _check_scalar(entity, "vote query link entity")
         started = time.perf_counter()
-        seq = self._last_seq + 1
-        record = WalRecord(seq=seq, vote=vote)
-        line = json.dumps(
-            {"seq": seq, "vote": vote_to_payload(vote)},
-            separators=(",", ":"),
-            sort_keys=True,
-        )
-        self._file.write(line.encode("utf-8") + b"\n")
-        self._file.flush()
-        os.fsync(self._file.fileno())
-        self._records.append(record)
-        self._last_seq = seq
+        with self._wal_lock:
+            if self._file.closed:
+                raise PersistenceError(f"{self._path}: WAL is closed")
+            seq = self._last_seq + 1
+            record = WalRecord(seq=seq, vote=vote, links=links)
+            self._file.write(_record_line(record))
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._records.append(record)
+            self._last_seq = seq
         self._m_appends.inc()
         self._g_last_seq.set(seq)
         elapsed = time.perf_counter() - started
@@ -293,35 +352,35 @@ class VoteWAL:
         temporary file that atomically replaces the log, so a crash
         mid-rotation leaves either the full old log (harmless: recovery
         filters ``seq <= snapshot``) or the complete trimmed one.
+        Holds the WAL lock throughout — a concurrent append lands
+        either in the old file before the swap or in the new one after,
+        never in the replaced orphan.
         """
-        survivors = [r for r in self._records if r.seq > up_to_seq]
-        if len(survivors) == len(self._records):
-            return len(survivors)
-        tmp = self._path.with_name(self._path.name + ".tmp")
-        with open(tmp, "wb") as handle:
-            for record in survivors:
-                line = json.dumps(
-                    {"seq": record.seq, "vote": vote_to_payload(record.vote)},
-                    separators=(",", ":"),
-                    sort_keys=True,
-                )
-                handle.write(line.encode("utf-8") + b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
-        self._file.close()
-        os.replace(tmp, self._path)
-        fsync_directory(self._path.parent)
-        self._file = open(self._path, "ab")
-        self._records = survivors
-        # The sequence counter never rewinds: new appends continue
-        # strictly after every sequence ever handed out.
+        with self._wal_lock:
+            survivors = [r for r in self._records if r.seq > up_to_seq]
+            if len(survivors) == len(self._records):
+                return len(survivors)
+            tmp = self._path.with_name(self._path.name + ".tmp")
+            with open(tmp, "wb") as handle:
+                for record in survivors:
+                    handle.write(_record_line(record))
+                handle.flush()
+                os.fsync(handle.fileno())
+            self._file.close()
+            os.replace(tmp, self._path)
+            fsync_directory(self._path.parent)
+            self._file = open(self._path, "ab")
+            self._records = survivors
+            # The sequence counter never rewinds: new appends continue
+            # strictly after every sequence ever handed out.
         self._m_rotations.inc()
         return len(survivors)
 
     def close(self) -> None:
         """Close the underlying file handle (records stay on disk)."""
-        if not self._file.closed:
-            self._file.close()
+        with self._wal_lock:
+            if not self._file.closed:
+                self._file.close()
 
     def __enter__(self) -> "VoteWAL":
         return self

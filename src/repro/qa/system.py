@@ -21,6 +21,7 @@ raise ``TypeError`` with a migration hint.
 
 from __future__ import annotations
 
+import itertools
 from collections.abc import Mapping, Sequence
 from time import perf_counter
 
@@ -95,7 +96,10 @@ class QASystem:
         )
         self._shown: dict[str, tuple[str, ...]] = {}
         self._votes = VoteSet()
-        self._question_counter = 0
+        # itertools.count, not an int += 1: allocation is a single
+        # C-level next() call, so concurrent asks can never mint the
+        # same question id (the int read-modify-write could interleave).
+        self._question_ids = itertools.count()
         registry = get_registry()
         self._m_asks = registry.counter("qa_asks_total")
         self._m_votes = registry.counter("qa_votes_total")
@@ -197,9 +201,7 @@ class QASystem:
         self._aug.add_query(question_id, counts)
 
     def _next_question_id(self) -> str:
-        question_id = f"__q{self._question_counter}"
-        self._question_counter += 1
-        return question_id
+        return f"__q{next(self._question_ids)}"
 
     def _record_shown(
         self, question_id: str, ranked: Sequence[tuple]
@@ -493,13 +495,14 @@ class QASystem:
         self._shown.clear()
         self._votes = VoteSet()
         # Keep auto-generated question ids collision-free with any
-        # __qN queries the restored graph carries.
+        # __qN queries the restored graph carries, and monotonic past
+        # everything this instance already minted.
+        floor = next(self._question_ids)
         for node in aug.query_nodes:
             text = str(node)
             if text.startswith("__q") and text[3:].isdigit():
-                self._question_counter = max(
-                    self._question_counter, int(text[3:]) + 1
-                )
+                floor = max(floor, int(text[3:]) + 1)
+        self._question_ids = itertools.count(floor)
 
     # ------------------------------------------------------------------
     # evaluation & access

@@ -58,9 +58,10 @@ otherwise it is re-pushed locally on the patched matrix.
 from __future__ import annotations
 
 import itertools
+import threading
 import time
 from collections import OrderedDict
-from collections.abc import Iterable, Mapping, Sequence
+from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -224,6 +225,14 @@ class SimilarityEngine:
         self._delta_enabled = bool(delta_revalidation)
         self._delta_density_threshold = float(delta_density_threshold)
         self._aug = aug
+        # Guards every mutation of the epoch state (matrix, caches,
+        # push snapshots) so a background optimizer worker can publish
+        # weight-patch epochs while serve threads revalidate lazily.
+        # Reads stay lock-free: published objects are copy-on-write and
+        # never mutated in place, so a captured reference is a
+        # consistent epoch snapshot.  Re-entrant because publish() holds
+        # it across apply + _flush, and serve paths re-enter via _flush.
+        self._state_lock = threading.RLock()
         self.params = params if params is not None else SimilarityParams()
         self._cache_size = cache_size
         self._cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
@@ -272,6 +281,9 @@ class SimilarityEngine:
         self._m_push_serves = counter("engine_push_serves_total", **label)
         self._m_push_repushes = counter("engine_push_repushes_total", **label)
         self._m_push_rekeys = counter("engine_push_rekeys_total", **label)
+        self._m_stale_drops = counter(
+            "engine_stale_cache_drops_total", **label
+        )
         self._g_cache_entries = self.registry.gauge("engine_cache_entries", **label)
         self._g_version = self.registry.gauge("engine_graph_version", **label)
         self._h_build = self.registry.histogram("engine_build_seconds", **label)
@@ -295,11 +307,12 @@ class SimilarityEngine:
     def close(self) -> None:
         """Detach from the graph's mutation feed and drop caches."""
         self._aug.graph.remove_listener(self._listener)
-        self._matrix = None
-        self._push_adj = None
-        self._push_map = None
-        self._push_meta.clear()
-        self._cache.clear()
+        with self._state_lock:
+            self._matrix = None
+            self._push_adj = None
+            self._push_map = None
+            self._push_meta.clear()
+            self._cache.clear()
         self._events.clear()
 
     @property
@@ -375,152 +388,172 @@ class SimilarityEngine:
 
     @mutator
     def _flush(self) -> None:
-        """Apply buffered mutations to the cached matrix."""
-        events, self._events = self._events, []
-        if self._matrix is None:
-            self._rebuild()
-            return
-        if not events:
-            self._m_rebuilds_avoided.inc()
-            return
-        patches: list[tuple[int, float]] = []
-        patch_edges: dict[int, tuple[Node, Node]] = {}
-        new_answers: list[Node] = []
-        new_answer_set: set[Node] = set()
-        rebuild = False
-        ignored = 0  # transient-query events, counted in one batch below
-        for event in events:
-            kind = event[0]
-            if kind == "update_weight":
-                _, head, tail, weight = event
-                position = self._pos.get((head, tail))
-                if position is not None:
-                    patches.append((position, weight))
-                    patch_edges[position] = (head, tail)
-                elif tail in new_answer_set or self._is_transient(head) or (
-                    self._is_transient(tail)
-                ):
-                    ignored += 1
-                else:
-                    rebuild = True
-                    break
-            elif kind == "add_node":
-                node = event[1]
-                if self._aug.is_answer(node) and node not in self._index:
-                    new_answers.append(node)
-                    new_answer_set.add(node)
-                elif self._is_transient(node):
-                    ignored += 1
-                else:
-                    rebuild = True  # a new entity: sparsity pattern changes
-                    break
-            elif kind == "add_edge":
-                _, head, tail, weight = event
-                if tail in new_answer_set:
-                    continue  # the appended row is read from the live graph
-                if self._is_transient(head) or self._is_transient(tail):
-                    ignored += 1
-                    continue
-                position = self._pos.get((head, tail))
-                if position is not None:
-                    patches.append((position, weight))
-                    patch_edges[position] = (head, tail)
-                else:
-                    rebuild = True
-                    break
-            else:  # "remove_edge" / "remove_node"
-                involved = event[1:3] if kind == "remove_edge" else event[1:2]
-                if any(self._is_transient(node) for node in involved):
-                    ignored += 1
-                    continue
-                rebuild = True
-                break
-        if ignored:
-            self._m_query_events.inc(ignored)
-        if rebuild:
-            self._rebuild()
-            return
-        # Whether the cached score vectors still describe the matrix at
-        # the (possibly bumped) current epoch.  Delta revalidation keeps
-        # it true across weight patches; a fallback makes it false and
-        # the stale entries are dropped below.
-        cache_valid = True
-        if patches:
-            data = self._matrix.data
-            positions = np.unique(
-                np.fromiter(
-                    (position for position, _ in patches),
-                    dtype=np.int64,
-                    count=len(patches),
-                )
-            )
-            track_delta = (
-                self._delta_enabled
-                and self._cache_size > 0
-                and bool(self._cache)
-            )
-            old_values = data[positions].copy() if track_delta else None
-            for position, weight in patches:
-                data[position] = weight
-            # Contract seam: every patched CSR entry is a finite positive
-            # weight.  No-op unless REPRO_CONTRACTS is on.
-            check_finite_csr_data(
-                data,
-                positions=[position for position, _ in patches],
-                seam="engine.patch",
-            )
-            if self._push_adj is not None:
-                # Keep the push out-edge CSR in lock-step with the
-                # matrix (same nonzeros, transposed layout) and grow the
-                # amplification bound ρ if a patched head's out-weight
-                # sum now exceeds it.  ρ is an upper bound, so weight
-                # decreases never lower it — staying high is sound.
-                adj = self._push_adj
-                adj.data[self._push_map[positions]] = data[positions]
-                heads = np.unique(
-                    np.fromiter(
-                        (
-                            self._index[patch_edges[int(p)][0]]
-                            for p in positions
-                        ),
-                        dtype=np.int64,
-                        count=positions.size,
-                    )
-                )
-                for row in heads:
-                    row_sum = float(
-                        adj.data[adj.indptr[row] : adj.indptr[row + 1]].sum()
-                    )
-                    if row_sum > self._push_rho:
-                        self._push_rho = row_sum
-            self._m_weight_patches.inc(len(patches))
-            self._epoch += 1
-            if self._cache:
-                if track_delta:
-                    cache_valid = self._delta_revalidate(
-                        positions, old_values, patch_edges
-                    )
-                else:
-                    cache_valid = False
-        if new_answers:
-            try:
-                self._append_answer_rows(new_answers)
-            except KeyError:
+        """Apply buffered mutations to the cached matrix.
+
+        Runs entirely under ``_state_lock`` so a serve-thread
+        revalidation and an optimizer-worker :meth:`publish` serialize.
+        Weight patches are applied *copy-on-write*: the CSR data array
+        is copied, patched, and rebound as a fresh matrix sharing the
+        (immutable) index structure — a propagation that captured the
+        previous matrix reference keeps a consistent snapshot of the
+        retired epoch instead of seeing a half-patched tear.
+        """
+        with self._state_lock:
+            events, self._events = self._events, []
+            if self._matrix is None:
                 self._rebuild()
                 return
-            self._epoch += 1
-            if self._cache and cache_valid and self._delta_enabled:
-                # Answer nodes have no out-edges: appending rows cannot
-                # change any cached score, so the vectors carry over to
-                # the new epoch verbatim.
-                self._rekey_cache()
-            elif self._cache and self._delta_enabled is False:
-                cache_valid = False
-        if self._cache and not cache_valid:
-            self._cache.clear()
-            self._push_meta.clear()
-            self._g_cache_entries.set(0)
-        self._m_rebuilds_avoided.inc()
+            if not events:
+                self._m_rebuilds_avoided.inc()
+                return
+            patches: list[tuple[int, float]] = []
+            patch_edges: dict[int, tuple[Node, Node]] = {}
+            new_answers: list[Node] = []
+            new_answer_set: set[Node] = set()
+            rebuild = False
+            ignored = 0  # transient-query events, counted in one batch below
+            for event in events:
+                kind = event[0]
+                if kind == "update_weight":
+                    _, head, tail, weight = event
+                    position = self._pos.get((head, tail))
+                    if position is not None:
+                        patches.append((position, weight))
+                        patch_edges[position] = (head, tail)
+                    elif tail in new_answer_set or self._is_transient(head) or (
+                        self._is_transient(tail)
+                    ):
+                        ignored += 1
+                    else:
+                        rebuild = True
+                        break
+                elif kind == "add_node":
+                    node = event[1]
+                    if self._aug.is_answer(node) and node not in self._index:
+                        new_answers.append(node)
+                        new_answer_set.add(node)
+                    elif self._is_transient(node):
+                        ignored += 1
+                    else:
+                        rebuild = True  # a new entity: sparsity pattern changes
+                        break
+                elif kind == "add_edge":
+                    _, head, tail, weight = event
+                    if tail in new_answer_set:
+                        continue  # the appended row is read from the live graph
+                    if self._is_transient(head) or self._is_transient(tail):
+                        ignored += 1
+                        continue
+                    position = self._pos.get((head, tail))
+                    if position is not None:
+                        patches.append((position, weight))
+                        patch_edges[position] = (head, tail)
+                    else:
+                        rebuild = True
+                        break
+                else:  # "remove_edge" / "remove_node"
+                    involved = event[1:3] if kind == "remove_edge" else event[1:2]
+                    if any(self._is_transient(node) for node in involved):
+                        ignored += 1
+                        continue
+                    rebuild = True
+                    break
+            if ignored:
+                self._m_query_events.inc(ignored)
+            if rebuild:
+                self._rebuild()
+                return
+            # Whether the cached score vectors still describe the matrix at
+            # the (possibly bumped) current epoch.  Delta revalidation keeps
+            # it true across weight patches; a fallback makes it false and
+            # the stale entries are dropped below.
+            cache_valid = True
+            if patches:
+                matrix = self._matrix
+                data = matrix.data.copy()
+                positions = np.unique(
+                    np.fromiter(
+                        (position for position, _ in patches),
+                        dtype=np.int64,
+                        count=len(patches),
+                    )
+                )
+                track_delta = (
+                    self._delta_enabled
+                    and self._cache_size > 0
+                    and bool(self._cache)
+                )
+                old_values = data[positions].copy() if track_delta else None
+                for position, weight in patches:
+                    data[position] = weight
+                # Contract seam: every patched CSR entry is a finite positive
+                # weight.  No-op unless REPRO_CONTRACTS is on.
+                check_finite_csr_data(
+                    data,
+                    positions=[position for position, _ in patches],
+                    seam="engine.patch",
+                )
+                self._matrix = sparse.csr_matrix(
+                    (data, matrix.indices, matrix.indptr),
+                    shape=matrix.shape,
+                )
+                if self._push_adj is not None:
+                    # Keep the push out-edge CSR in lock-step with the
+                    # matrix (same nonzeros, transposed layout) and grow the
+                    # amplification bound ρ if a patched head's out-weight
+                    # sum now exceeds it.  ρ is an upper bound, so weight
+                    # decreases never lower it — staying high is sound.
+                    adj = self._push_adj
+                    adj_data = adj.data.copy()
+                    adj_data[self._push_map[positions]] = data[positions]
+                    heads = np.unique(
+                        np.fromiter(
+                            (
+                                self._index[patch_edges[int(p)][0]]
+                                for p in positions
+                            ),
+                            dtype=np.int64,
+                            count=positions.size,
+                        )
+                    )
+                    for row in heads:
+                        row_sum = float(
+                            adj_data[adj.indptr[row] : adj.indptr[row + 1]].sum()
+                        )
+                        if row_sum > self._push_rho:
+                            self._push_rho = row_sum
+                    self._push_adj = sparse.csr_matrix(
+                        (adj_data, adj.indices, adj.indptr),
+                        shape=adj.shape,
+                    )
+                self._m_weight_patches.inc(len(patches))
+                self._epoch += 1
+                if self._cache:
+                    if track_delta:
+                        cache_valid = self._delta_revalidate(
+                            positions, old_values, patch_edges
+                        )
+                    else:
+                        cache_valid = False
+            if new_answers:
+                try:
+                    self._append_answer_rows(new_answers)
+                except KeyError:
+                    self._rebuild()
+                    return
+                self._epoch += 1
+                if self._cache and cache_valid and self._delta_enabled:
+                    # Answer nodes have no out-edges: appending rows cannot
+                    # change any cached score, so the vectors carry over to
+                    # the new epoch verbatim.
+                    self._rekey_cache()
+                elif self._cache and self._delta_enabled is False:
+                    cache_valid = False
+            if self._cache and not cache_valid:
+                self._cache.clear()
+                self._push_meta.clear()
+                self._g_cache_entries.set(0)
+            self._m_rebuilds_avoided.inc()
 
     @mutator
     def revalidate(self) -> None:
@@ -538,24 +571,50 @@ class SimilarityEngine:
         self._flush()
 
     @mutator
+    def publish(self, apply: "Callable[[], object]") -> int:
+        """Atomically apply a mutation batch and revalidate in one epoch.
+
+        ``apply`` mutates the live graph (typically replaying a solved
+        batch's weight patches); the engine holds ``_state_lock`` across
+        the mutation *and* the revalidation, so no concurrent serve can
+        flush a half-applied batch into an epoch of its own.  This is
+        the optimizer worker's publication point: the whole batch lands
+        as exactly one weight-patch epoch (plus delta revalidation),
+        and serve threads either see the retired epoch or the fully
+        published one — never a tear.
+
+        Returns the epoch the batch was published as.
+        """
+        with self._state_lock:
+            apply()
+            self._flush()
+            return self._epoch
+
+    @property
+    def epoch(self) -> int:
+        """The current matrix-content epoch (monotonic; racy read is fine)."""
+        return self._epoch
+
+    @mutator
     def _rekey_cache(self) -> None:
         """Carry every cached vector verbatim to the current epoch.
 
         Only sound for matrix changes that provably cannot alter any
         cached score (answer-row appends, zero-delta patches).
         """
-        if not self._cache:
-            return
-        self._cache = OrderedDict(
-            (key[:-1] + (self._epoch,), vector)
-            for key, vector in self._cache.items()
-        )
-        if self._push_meta:
-            self._push_meta = {
-                key[:-1] + (self._epoch,): meta
-                for key, meta in self._push_meta.items()
-            }
-        self._m_delta_rekeys.inc(len(self._cache))
+        with self._state_lock:
+            if not self._cache:
+                return
+            self._cache = OrderedDict(
+                (key[:-1] + (self._epoch,), vector)
+                for key, vector in self._cache.items()
+            )
+            if self._push_meta:
+                self._push_meta = {
+                    key[:-1] + (self._epoch,): meta
+                    for key, meta in self._push_meta.items()
+                }
+            self._m_delta_rekeys.inc(len(self._cache))
 
     def _cold_vector(
         self,
@@ -563,9 +622,10 @@ class SimilarityEngine:
         target_idx: np.ndarray,
         max_length: int,
         restart_prob: float,
+        matrix: "sparse.csr_matrix | None" = None,
     ) -> np.ndarray:
         """Un-instrumented reference DP, for contract checking only."""
-        matrix = self._matrix
+        matrix = matrix if matrix is not None else self._matrix
         mass = np.zeros(matrix.shape[0])
         for entity, weight in links:
             mass[self._index[entity]] = weight
@@ -803,8 +863,11 @@ class SimilarityEngine:
                 continue
             vector.setflags(write=False)
             new_cache[new_key] = vector
-        self._cache = new_cache
-        self._push_meta = new_meta
+        # _flush already holds the lock (re-entrant); the lexical scope
+        # marks the swap as the guarded publication point.
+        with self._state_lock:
+            self._cache = new_cache
+            self._push_meta = new_meta
         self._g_cache_entries.set(len(new_cache))
         rec = active_recorder()
         if rec is not None:
@@ -840,7 +903,7 @@ class SimilarityEngine:
         so propagation results match it bitwise.
         """
         started = time.perf_counter()
-        with trace_span("engine.rebuild") as span:
+        with self._state_lock, trace_span("engine.rebuild") as span:
             graph = self._aug.graph
             queries = self._aug.query_nodes
             nodes = [node for node in graph.nodes() if node not in queries]
@@ -893,35 +956,40 @@ class SimilarityEngine:
         append the exact incremental form of a rebuild.
         """
         started = time.perf_counter()
-        matrix = self._matrix
-        data_parts = [matrix.data]
-        index_parts = [matrix.indices]
-        indptr = list(matrix.indptr)
-        offset = len(matrix.data)
-        for answer in answers:
-            links = self._aug.answer_links(answer)
-            entries = sorted(
-                (self._index[entity], float(weight), entity)
-                for entity, weight in links.items()
+        with self._state_lock:
+            matrix = self._matrix
+            data_parts = [matrix.data]
+            index_parts = [matrix.indices]
+            indptr = list(matrix.indptr)
+            offset = len(matrix.data)
+            for answer in answers:
+                links = self._aug.answer_links(answer)
+                entries = sorted(
+                    (self._index[entity], float(weight), entity)
+                    for entity, weight in links.items()
+                )
+                self._index[answer] = len(self._index)
+                for j, weight, entity in entries:
+                    self._pos[(entity, answer)] = offset
+                    offset += 1
+                data_parts.append(
+                    np.asarray([w for _, w, _ in entries], dtype=float)
+                )
+                index_parts.append(
+                    np.asarray([j for j, _, _ in entries], dtype=np.int32)
+                )
+                indptr.append(offset)
+            n = len(self._index)
+            self._matrix = sparse.csr_matrix(
+                (
+                    np.concatenate(data_parts),
+                    np.concatenate(index_parts),
+                    np.asarray(indptr, dtype=np.int64),
+                ),
+                shape=(n, n),
             )
-            self._index[answer] = len(self._index)
-            for j, weight, entity in entries:
-                self._pos[(entity, answer)] = offset
-                offset += 1
-            data_parts.append(np.asarray([w for _, w, _ in entries], dtype=float))
-            index_parts.append(np.asarray([j for j, _, _ in entries], dtype=np.int32))
-            indptr.append(offset)
-        n = len(self._index)
-        self._matrix = sparse.csr_matrix(
-            (
-                np.concatenate(data_parts),
-                np.concatenate(index_parts),
-                np.asarray(indptr, dtype=np.int64),
-            ),
-            shape=(n, n),
-        )
-        self._push_adj = None
-        self._push_map = None
+            self._push_adj = None
+            self._push_map = None
         check_finite_csr_data(self._matrix.data, seam="engine.append_rows")
         self._m_rows_appended.inc(len(answers))
         self._h_build.observe(time.perf_counter() - started)
@@ -935,36 +1003,37 @@ class SimilarityEngine:
         in place.  The map falls out of transposing a "tag" matrix that
         carries each nonzero's original data position as its value.
         """
-        if self._push_adj is None:
-            matrix = self._matrix
-            nnz = matrix.nnz
-            if nnz:
-                tag = sparse.csr_matrix(
-                    (
-                        np.arange(1, nnz + 1, dtype=np.float64),
-                        matrix.indices,
-                        matrix.indptr,
-                    ),
-                    shape=matrix.shape,
-                )
-                tagged = sparse.csr_matrix(tag.T)
-                source_pos = np.rint(tagged.data).astype(np.int64) - 1
-                self._push_adj = sparse.csr_matrix(
-                    (
-                        matrix.data[source_pos],
-                        tagged.indices.copy(),
-                        tagged.indptr.copy(),
-                    ),
-                    shape=matrix.shape,
-                )
-                push_map = np.empty(nnz, dtype=np.int64)
-                push_map[source_pos] = np.arange(nnz, dtype=np.int64)
-                self._push_map = push_map
-            else:
-                self._push_adj = sparse.csr_matrix(matrix.shape)
-                self._push_map = np.empty(0, dtype=np.int64)
-            self._push_rho = amplification_bound(self._push_adj)
-        return self._push_adj, self._push_rho
+        with self._state_lock:
+            if self._push_adj is None:
+                matrix = self._matrix
+                nnz = matrix.nnz
+                if nnz:
+                    tag = sparse.csr_matrix(
+                        (
+                            np.arange(1, nnz + 1, dtype=np.float64),
+                            matrix.indices,
+                            matrix.indptr,
+                        ),
+                        shape=matrix.shape,
+                    )
+                    tagged = sparse.csr_matrix(tag.T)
+                    source_pos = np.rint(tagged.data).astype(np.int64) - 1
+                    self._push_adj = sparse.csr_matrix(
+                        (
+                            matrix.data[source_pos],
+                            tagged.indices.copy(),
+                            tagged.indptr.copy(),
+                        ),
+                        shape=matrix.shape,
+                    )
+                    push_map = np.empty(nnz, dtype=np.int64)
+                    push_map[source_pos] = np.arange(nnz, dtype=np.int64)
+                    self._push_map = push_map
+                else:
+                    self._push_adj = sparse.csr_matrix(matrix.shape)
+                    self._push_map = np.empty(0, dtype=np.int64)
+                self._push_rho = amplification_bound(self._push_adj)
+            return self._push_adj, self._push_rho
 
     # ------------------------------------------------------------------
     # serving
@@ -1015,11 +1084,12 @@ class SimilarityEngine:
     def _cache_get(self, key: tuple) -> "np.ndarray | None":
         if not self._cache_size:
             return None
-        scores = self._cache.get(key)
-        if scores is None:
-            self._m_cache_misses.inc()
-            return None
-        self._cache.move_to_end(key)
+        with self._state_lock:
+            scores = self._cache.get(key)
+            if scores is None:
+                self._m_cache_misses.inc()
+                return None
+            self._cache.move_to_end(key)
         self._m_cache_hits.inc()
         return scores
 
@@ -1028,15 +1098,25 @@ class SimilarityEngine:
         if not self._cache_size:
             return
         # Cached vectors are handed back by reference on every hit (and
-        # patched in place by delta revalidation): freeze them so no
-        # caller can poison every later hit for the key.
+        # corrected by delta revalidation): freeze them so no caller can
+        # poison every later hit for the key.
         scores.setflags(write=False)
-        self._cache[key] = scores
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._cache_size:
-            evicted, _ = self._cache.popitem(last=False)
-            self._push_meta.pop(evicted, None)
-        self._g_cache_entries.set(len(self._cache))
+        with self._state_lock:
+            if key[-1] != self._epoch:
+                # A publish landed between this serve's key computation
+                # and the insert: the vector describes a retired matrix
+                # epoch.  Inserting it would hand the next delta
+                # revalidation a wrong-basis vector to "correct" onto a
+                # live epoch — drop it; the caller still returns its
+                # (consistent, retired-epoch) scores.
+                self._m_stale_drops.inc()
+                return
+            self._cache[key] = scores
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                evicted, _ = self._cache.popitem(last=False)
+                self._push_meta.pop(evicted, None)
+            self._g_cache_entries.set(len(self._cache))
 
     def _seed_arrays(
         self, links: Mapping[Node, float]
@@ -1117,10 +1197,15 @@ class SimilarityEngine:
         with trace_span(
             "engine.push", batch=1, max_length=params.max_length
         ) as span:
-            out_matrix, rho = self._ensure_push_state()
+            # Capture the in-matrix and the push state under one lock
+            # hold so both belong to the same epoch (a concurrent
+            # publish between the two reads would mix epochs).
+            with self._state_lock:
+                out_matrix, rho = self._ensure_push_state()
+                matrix = self._matrix
             seed_idx, seed_weights = self._seed_arrays(links)
             result = backend.propagate(
-                self._matrix,
+                matrix,
                 seed_idx,
                 seed_weights,
                 target_idx,
@@ -1144,6 +1229,7 @@ class SimilarityEngine:
                     target_idx,
                     params.max_length,
                     params.restart_prob,
+                    matrix=matrix,
                 ),
                 budget=result.error_bound,
                 seam="engine.push",
@@ -1167,8 +1253,11 @@ class SimilarityEngine:
         result = self._push_compute(links, target_idx, params, backend)
         self._m_push_serves.inc()
         self._cache_put(key, result.scores)
-        if key in self._cache:
-            self._push_meta[key] = result
+        with self._state_lock:
+            # Only track metadata for entries the put actually kept —
+            # a stale-epoch drop (or cache_size=0) stores nothing.
+            if key in self._cache:
+                self._push_meta[key] = result
         return result
 
     @serve_path

@@ -27,6 +27,12 @@ Guard disciplines (the ``guard`` field grammar):
     Ownership rules apply *and* every value stored must be a read-only
     ndarray — callers must freeze with ``setflags(write=False)`` before
     the store (rule R009; the PR 5 cache-poison bug, made impossible).
+``frozen+lock:<name>``
+    Both disciplines at once: every write must be lexically inside
+    ``with <holder>.<name>:`` *and* every value stored must be a frozen
+    ndarray.  This is the serve/optimize cache contract — the optimizer
+    worker re-keys entries under the engine lock, and readers outside
+    the lock can only ever observe immutable vectors.
 
 Decorators (consumed by the analyzer, free at runtime):
 
@@ -130,7 +136,7 @@ class SharedState:
         if self.kind not in ("attribute", "module-global"):
             raise ValueError(f"unknown shared-state kind: {self.kind!r}")
         ok = self.guard in ("gil-atomic", "frozen") or self.guard.startswith(
-            ("lock:", "owner:")
+            ("lock:", "owner:", "frozen+lock:")
         )
         if not ok:
             raise ValueError(f"unknown guard discipline: {self.guard!r}")
@@ -150,9 +156,14 @@ class SharedState:
     @property
     def lock_name(self) -> "str | None":
         """The lock attribute for ``lock:`` guards (else ``None``)."""
-        if self.guard.startswith("lock:"):
+        if self.guard.startswith("lock:") or self.guard.startswith("frozen+lock:"):
             return self.guard.split(":", 1)[1]
         return None
+
+    @property
+    def frozen(self) -> bool:
+        """Whether stored values must be read-only ndarrays (R009)."""
+        return self.guard == "frozen" or self.guard.startswith("frozen+lock:")
 
 
 # ----------------------------------------------------------------------
@@ -163,32 +174,45 @@ class SharedState:
 # ----------------------------------------------------------------------
 SHARED_STATE: "tuple[SharedState, ...]" = (
     # -- serving engine: the epoch-consistent read state -----------------
+    #
+    # Since the concurrent serve/optimize PR these are written under the
+    # engine's ``_state_lock`` (an RLock): the background optimizer
+    # worker publishes weight-patch epochs through
+    # ``SimilarityEngine.publish`` while serve threads revalidate lazily
+    # in ``_flush``.  Reads on the serve path stay lock-free — they
+    # capture object references (the CSR matrix, a cached vector) that
+    # are never mutated in place once published (copy-on-write patches).
     SharedState(
         name="SimilarityEngine._matrix",
         owner="repro.serving.engine",
-        guard="owner:repro.serving.engine",
-        rekey_apis=("__init__", "close", "_rebuild", "_append_answer_rows"),
-        description="dense truncated inverse-P-distance matrix; rebuilt "
-        "or row-appended only by the engine's own revalidation APIs",
+        guard="lock:_state_lock",
+        serve_safe=True,
+        rekey_apis=("__init__", "close", "_flush", "_rebuild", "_append_answer_rows"),
+        description="CSR truncated inverse-P-distance matrix; patched "
+        "copy-on-write (rebound, never mutated in place) so lock-free "
+        "readers keep an internally consistent epoch snapshot",
     ),
     SharedState(
         name="SimilarityEngine._index",
         owner="repro.serving.engine",
-        guard="owner:repro.serving.engine",
+        guard="lock:_state_lock",
+        serve_safe=True,
         rekey_apis=("__init__", "close", "_rebuild", "_append_answer_rows"),
         description="answer-entity -> matrix-row map, versioned with _matrix",
     ),
     SharedState(
         name="SimilarityEngine._pos",
         owner="repro.serving.engine",
-        guard="owner:repro.serving.engine",
+        guard="lock:_state_lock",
+        serve_safe=True,
         rekey_apis=("__init__", "close", "_rebuild", "_append_answer_rows"),
         description="(entity, answer) -> CSR offset map for delta patches",
     ),
     SharedState(
         name="SimilarityEngine._cache",
         owner="repro.serving.engine",
-        guard="frozen",
+        guard="frozen+lock:_state_lock",
+        serve_safe=True,
         rekey_apis=(
             "__init__",
             "close",
@@ -198,13 +222,14 @@ SHARED_STATE: "tuple[SharedState, ...]" = (
             "_cache_put",
         ),
         description="epoch-keyed score LRU; values are frozen ndarrays "
-        "(R009) and keys only change through declared revalidation APIs "
-        "(R011)",
+        "(R009), every access holds _state_lock, and keys only change "
+        "through declared revalidation APIs (R011)",
     ),
     SharedState(
         name="SimilarityEngine._push_meta",
         owner="repro.serving.engine",
-        guard="owner:repro.serving.engine",
+        guard="lock:_state_lock",
+        serve_safe=True,
         rekey_apis=(
             "__init__",
             "close",
@@ -219,25 +244,30 @@ SHARED_STATE: "tuple[SharedState, ...]" = (
     SharedState(
         name="SimilarityEngine._push_adj",
         owner="repro.serving.engine",
-        guard="owner:repro.serving.engine",
-        description="push kernel adjacency snapshot for the current epoch",
+        guard="lock:_state_lock",
+        serve_safe=True,
+        description="push kernel adjacency snapshot for the current epoch "
+        "(copy-on-write under weight patches)",
     ),
     SharedState(
         name="SimilarityEngine._push_map",
         owner="repro.serving.engine",
-        guard="owner:repro.serving.engine",
+        guard="lock:_state_lock",
+        serve_safe=True,
         description="push kernel node-id map for the current epoch",
     ),
     SharedState(
         name="SimilarityEngine._push_rho",
         owner="repro.serving.engine",
-        guard="owner:repro.serving.engine",
+        guard="lock:_state_lock",
+        serve_safe=True,
         description="push kernel residual threshold for the current epoch",
     ),
     SharedState(
         name="SimilarityEngine._epoch",
         owner="repro.serving.engine",
-        guard="owner:repro.serving.engine",
+        guard="lock:_state_lock",
+        serve_safe=True,
         rekey_apis=("__init__", "_flush", "_rebuild"),
         description="monotonic revalidation epoch; cache keys embed it",
     ),
@@ -257,17 +287,27 @@ SHARED_STATE: "tuple[SharedState, ...]" = (
         "the declared cross-module writer (flushes on change)",
     ),
     # -- persistence: WAL sequence counter and replay buffer -------------
+    #
+    # The ingest side appends (log-before-enqueue) while the optimizer
+    # worker rotates after a checkpoint — two threads, one file handle,
+    # so both critical sections serialize on ``_wal_lock``.
     SharedState(
         name="VoteWAL._last_seq",
         owner="repro.persistence.wal",
-        guard="owner:repro.persistence.wal",
+        guard="lock:_wal_lock",
         description="monotonic durable sequence counter (log before apply)",
     ),
     SharedState(
         name="VoteWAL._records",
         owner="repro.persistence.wal",
-        guard="owner:repro.persistence.wal",
+        guard="lock:_wal_lock",
         description="in-memory mirror of the durable log for replay",
+    ),
+    SharedState(
+        name="VoteWAL._file",
+        owner="repro.persistence.wal",
+        guard="lock:_wal_lock",
+        description="append handle; rotation swaps it while ingest appends",
     ),
     # -- online optimizer: the vote queue the serve side feeds -----------
     SharedState(
@@ -287,6 +327,38 @@ SHARED_STATE: "tuple[SharedState, ...]" = (
         owner="repro.optimize.online",
         guard="owner:repro.optimize.online",
         description="per-batch outcome trajectory (append-only)",
+    ),
+    # -- serving worker: the ingest queue between threads -----------------
+    #
+    # ``VoteQueue`` is the only structure both the ingest thread and the
+    # optimizer worker mutate; every touch is inside ``with self._cond:``
+    # (a Condition wrapping one mutex).  The worker's own optimizer and
+    # shadow graph are thread-confined and deliberately *not* listed.
+    SharedState(
+        name="VoteQueue._items",
+        owner="repro.serving.worker",
+        guard="lock:_cond",
+        description="bounded deque of durable, not-yet-buffered votes",
+    ),
+    SharedState(
+        name="VoteQueue._closed",
+        owner="repro.serving.worker",
+        guard="lock:_cond",
+        description="shutdown latch; put() refuses once set",
+    ),
+    SharedState(
+        name="OptimizerWorker._last_error",
+        owner="repro.serving.worker",
+        guard="gil-atomic",
+        description="newest worker-loop exception (plain rebind; readers "
+        "poll it for health checks)",
+    ),
+    SharedState(
+        name="OptimizerWorker._drain",
+        owner="repro.serving.worker",
+        guard="gil-atomic",
+        description="stop-mode flag (plain bool rebind by stop(); the "
+        "worker loop reads it after the stop event is set)",
     ),
     # -- observability: registries, rings, instruments -------------------
     SharedState(

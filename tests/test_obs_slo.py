@@ -83,6 +83,20 @@ class TestEvaluateObjective:
         assert status.attainment == pytest.approx(0.95)
         assert status.burn == pytest.approx(1.0)
 
+    def test_burn_guard_with_no_error_budget(self):
+        # quantile == 1.0 cannot pass the validated constructor; forge
+        # an objective to exercise evaluate_objective's division guard
+        # directly (a p100 objective has no budget to divide by).
+        objective = object.__new__(LatencyObjective)
+        object.__setattr__(objective, "name", "p100")
+        object.__setattr__(objective, "metric", "qa_ask_seconds")
+        object.__setattr__(objective, "quantile", 1.0)
+        object.__setattr__(objective, "threshold", 0.25)
+        attained = evaluate_objective(objective, (0.1, 1.0), [100, 100, 100])
+        assert attained.burn == 0.0
+        missed = evaluate_objective(objective, (0.1, 1.0), [90, 90, 100])
+        assert math.isinf(missed.burn)
+
 
 class TestMergeHistograms:
     def test_empty_iterable_is_none(self):
@@ -179,6 +193,93 @@ class TestWatchdog:
         assert rebreached.breached
         bundles = list((tmp_path / "flight").glob("flight-*-slo_breach"))
         assert len(bundles) == 2
+
+
+class TestIntervalWindows:
+    """The watchdog grades deltas between checks, not cumulative totals.
+
+    Regression: histograms are cumulative, so a long healthy history
+    used to dilute a fresh latency regression out of the p95 estimate —
+    a service slow for minutes read as healthy because it had been fast
+    for hours.
+    """
+
+    def test_regression_after_long_healthy_history_is_caught(self, registry):
+        h = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0))
+        for _ in range(100_000):
+            h.observe(0.01)
+        watchdog = SLOWatchdog([ASK_P95], registry=registry)
+        (healthy,) = watchdog.check()
+        assert not healthy.breached
+        # Every request since the last check is slow.  Cumulatively
+        # that is 200 of 100200 samples — invisible to a p95; the
+        # interval window sees 200 of 200.
+        for _ in range(200):
+            h.observe(5.0)
+        (status,) = watchdog.check()
+        assert status.breached
+        assert status.count == 200
+
+    def test_first_check_grades_full_cumulative_data(self, registry):
+        h = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0))
+        for _ in range(50):
+            h.observe(0.01)
+        watchdog = SLOWatchdog([ASK_P95], registry=registry)
+        (status,) = watchdog.check()
+        assert status.count == 50
+
+    def test_negative_delta_falls_back_to_fresh_cumulative(self, registry):
+        # A replaced registry restarts counts from zero; the watchdog
+        # must not grade a bogus negative window.
+        watchdog = SLOWatchdog([ASK_P95], registry=registry)
+        bounds = (0.1, 1.0)
+        assert watchdog._interval_window("ask-p95", bounds, [10, 10, 10]) == [
+            10,
+            10,
+            10,
+        ]
+        assert watchdog._interval_window("ask-p95", bounds, [10, 15, 20]) == [
+            0,
+            5,
+            10,
+        ]
+        # Restart: cumulative counts drop below the snapshot.
+        assert watchdog._interval_window("ask-p95", bounds, [3, 3, 4]) == [
+            3,
+            3,
+            4,
+        ]
+        # The next interval is graded against the reset baseline.
+        assert watchdog._interval_window("ask-p95", bounds, [3, 4, 6]) == [
+            0,
+            1,
+            2,
+        ]
+
+    def test_bucket_layout_change_falls_back_to_cumulative(self, registry):
+        watchdog = SLOWatchdog([ASK_P95], registry=registry)
+        watchdog._interval_window("ask-p95", (0.1, 1.0), [5, 5, 5])
+        assert watchdog._interval_window("ask-p95", (0.2, 2.0), [7, 7, 7]) == [
+            7,
+            7,
+            7,
+        ]
+
+    def test_quiet_interval_keeps_last_gauges_and_verdict(self, registry):
+        h = registry.histogram("qa_ask_seconds", buckets=(0.1, 1.0))
+        for _ in range(50):
+            h.observe(0.01)
+        watchdog = SLOWatchdog([ASK_P95], registry=registry)
+        watchdog.check()
+        (quiet,) = watchdog.check()  # no traffic since the last check
+        assert quiet.count == 0
+        assert not quiet.breached
+        # Gauges keep their last real values; nothing was overwritten
+        # with NaN and the breach counter did not move.
+        assert registry.gauge(
+            "slo_attainment_ratio", slo="ask-p95"
+        ).value == pytest.approx(1.0)
+        assert registry.counter("slo_breaches_total", slo="ask-p95").value == 0
 
 
 class TestQuantileAccuracy:

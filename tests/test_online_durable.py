@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PersistenceError, SGPSolverError
+from repro.errors import PersistenceError, SGPSolverError, VoteError
 from repro.optimize.online import OnlineOptimizer
 from repro.persistence import DurableStore
 from repro.qa import QASystem, build_knowledge_graph, generate_helpdesk_corpus
@@ -121,6 +121,87 @@ class TestDurableOnlineLoop:
                 store, policy=CountPolicy(BATCH_SIZE)
             )
             assert list(recovered.pending.votes) == [votes[BATCH_SIZE]]
+
+
+class DedupingVoteSet(VoteSet):
+    """A validating buffer: rejects a second vote for the same query."""
+
+    def add(self, vote):
+        if any(v.query == vote.query for v in self.votes):
+            raise VoteError(f"duplicate vote for query {vote.query!r}")
+        super().add(vote)
+
+
+class TestDurableSubmitRejection:
+    """Regression: a buffer-rejected vote must not desync WAL sequences.
+
+    ``submit`` used to append the WAL sequence *before* offering the
+    vote to the pending buffer; a validating/deduplicating buffer that
+    raised left a phantom sequence in ``_pending_seqs``, so a later
+    ``checkpoint()`` could stamp a snapshot with a sequence that was
+    never applied — and recovery would then drop a real vote.
+    """
+
+    def test_rejected_vote_keeps_seqs_lockstep(self, tmp_path):
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(batch_size=100), store=store
+            )
+            online.pending = DedupingVoteSet()
+            online.submit(votes[0])
+            with pytest.raises(VoteError, match="duplicate"):
+                online.submit(votes[0])
+            online.submit(votes[1])
+            # The rejected resubmission is durable in the WAL (logged
+            # before the buffer saw it) but tracked nowhere else:
+            assert store.wal.last_seq == 3
+            assert [v.query for v in online.pending.votes] == [
+                votes[0].query,
+                votes[1].query,
+            ]
+            assert list(online.pending_seqs) == [1, 3]
+
+    def test_checkpoint_after_rejection_covers_only_applied_seqs(
+        self, tmp_path
+    ):
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(batch_size=100), store=store
+            )
+            online.pending = DedupingVoteSet()
+            online.submit(votes[0])
+            with pytest.raises(VoteError):
+                online.submit(votes[0])
+            # applied_through = min(pending seqs) - 1 = 0: the phantom
+            # seq 2 must not drag the snapshot mark past the live vote.
+            online.checkpoint()
+            assert store.snapshots.newest_seq() == 0
+            assert [r.seq for r in store.wal.records()] == [1, 2]
+
+    def test_replay_rejects_identically_and_never_resurrects(self, tmp_path):
+        aug, votes = build_scenario()
+        with DurableStore(tmp_path) as store:
+            online = OnlineOptimizer(
+                aug, policy=CountPolicy(batch_size=100), store=store
+            )
+            online.pending = DedupingVoteSet()
+            online.submit(votes[0])
+            with pytest.raises(VoteError):
+                online.submit(votes[0])
+            online.submit(votes[1])
+            live_queries = [v.query for v in online.pending.votes]
+
+        fallback, _ = build_scenario()
+        with DurableStore(tmp_path) as store:
+            recovered = OnlineOptimizer(
+                fallback, policy=CountPolicy(batch_size=100), store=store
+            )
+            recovered.pending = DedupingVoteSet()
+            recovered._replay(store.recover().tail)
+            assert [v.query for v in recovered.pending.votes] == live_queries
+            assert list(recovered.pending_seqs) == [1, 3]
 
 
 class TestFlushFailureRequeue:

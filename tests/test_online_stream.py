@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import VoteError
 from repro.graph import AugmentedGraph, helpdesk_graph
@@ -133,6 +135,79 @@ class TestGeneratorInputs:
         votes = [make_vote(i) for i in range(5)]  # distinct queries
         assert policy.should_optimize(v for v in votes)
         assert not policy.should_optimize(v for v in votes[:2])
+
+
+#: (is_negative, query-bucket) specs; few query buckets so conflicts
+#: actually occur in generated sequences.
+_VOTE_SPECS = st.lists(
+    st.tuples(st.booleans(), st.integers(min_value=0, max_value=3)),
+    max_size=25,
+)
+
+
+class TestPolicyConsumptionProperty:
+    """``should_optimize`` never over-consumes a one-shot iterator.
+
+    For every policy and any vote sequence, the number of items pulled
+    from a generator equals exactly what the decision requires: up to
+    the triggering vote on a positive decision, the whole stream on a
+    negative one (a negative verdict needs to see everything).
+    """
+
+    @staticmethod
+    def _votes(specs):
+        return [
+            make_vote(i, negative=neg, query=f"q{q}")
+            for i, (neg, q) in enumerate(specs)
+        ]
+
+    @staticmethod
+    def _consult(policy, votes):
+        consumed = []
+
+        def one_shot():
+            for vote in votes:
+                consumed.append(vote)
+                yield vote
+
+        return policy.should_optimize(one_shot()), consumed
+
+    @given(specs=_VOTE_SPECS, batch_size=st.integers(1, 8))
+    def test_count_policy(self, specs, batch_size):
+        votes = self._votes(specs)
+        decision, consumed = self._consult(CountPolicy(batch_size), votes)
+        assert decision == (len(votes) >= batch_size)
+        assert len(consumed) == min(len(votes), batch_size)
+
+    @given(specs=_VOTE_SPECS, negative_votes=st.integers(1, 8))
+    def test_negative_policy(self, specs, negative_votes):
+        votes = self._votes(specs)
+        decision, consumed = self._consult(
+            NegativeCountPolicy(negative_votes), votes
+        )
+        negative_positions = [
+            i for i, v in enumerate(votes, start=1) if v.is_negative
+        ]
+        if len(negative_positions) >= negative_votes:
+            assert decision
+            assert len(consumed) == negative_positions[negative_votes - 1]
+        else:
+            assert not decision
+            assert len(consumed) == len(votes)
+
+    @given(specs=_VOTE_SPECS, max_pending=st.integers(1, 8))
+    def test_conflict_policy(self, specs, max_pending):
+        votes = self._votes(specs)
+        decision, consumed = self._consult(ConflictPolicy(max_pending), votes)
+        best_by_query: dict = {}
+        expected, needed = False, len(votes)
+        for i, vote in enumerate(votes, start=1):
+            seen = best_by_query.setdefault(vote.query, vote.best_answer)
+            if seen != vote.best_answer or i >= max_pending:
+                expected, needed = True, i
+                break
+        assert decision == expected
+        assert len(consumed) == needed
 
 
 @pytest.fixture
